@@ -1,0 +1,41 @@
+"""Ablation — receiver-side flow control (Section 3).
+
+With flow control, a receiver clamps advertised bursts to its free buffer
+and a full receiver stays silent; without it, senders push blindly and
+intermediate buffers overflow.  Measured on the SH store-and-forward path
+with deliberately small relay buffers.
+"""
+
+from conftest import cached_sweep  # noqa: F401  (shared cache warmup only)
+
+from repro.models.scenario import ScenarioConfig, run_scenario
+
+
+def run_pair():
+    base = ScenarioConfig(
+        model="dual",
+        n_senders=15,
+        rate_bps=2000.0,
+        sim_time_s=90.0,
+        burst_packets=100,
+        buffer_packets=150,  # tight relay buffers: 4.8 KB
+        seed=11,
+    )
+    with_fc = run_scenario(base)
+    without_fc = run_scenario(base.replace(flow_control=False))
+    return with_fc, without_fc
+
+
+def test_flow_control(benchmark, print_artifact):
+    with_fc, without_fc = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print_artifact(
+        "flow control ablation (tight 150-packet relay buffers):\n"
+        f"  with    : goodput={with_fc.goodput:.3f} "
+        f"buffer_drops={with_fc.counters.get('bcp.buffer_drops', 0):.0f}\n"
+        f"  without : goodput={without_fc.goodput:.3f} "
+        f"buffer_drops={without_fc.counters.get('bcp.buffer_drops', 0):.0f}"
+    )
+    drops_with = with_fc.counters.get("bcp.buffer_drops", 0)
+    drops_without = without_fc.counters.get("bcp.buffer_drops", 0)
+    assert drops_without >= drops_with
+    assert with_fc.goodput >= without_fc.goodput - 0.05

@@ -1,0 +1,65 @@
+"""Ablation — the buffering threshold α·s* (BCP's one protocol knob).
+
+Sweeps α around the analytic break-even point on the prototype testbed:
+below α = 1 the dual radio must lose to the sensor baseline; above it,
+gains grow with diminishing returns (Fig. 11's mechanism, viewed as an
+α-sweep as Section 3 parameterizes it).
+"""
+
+from repro.core.config import BcpConfig
+from repro.energy.breakeven import DualRadioLink, breakeven_bits
+from repro.energy.radio_specs import LUCENT_11, MICAZ
+from repro.testbed.experiment import PrototypeConfig, run_prototype
+
+ALPHAS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def run_alpha_sweep():
+    link = DualRadioLink(low=MICAZ, high=LUCENT_11)
+    s_star_bytes = breakeven_bits(link) / 8
+    results = {}
+    for alpha in ALPHAS:
+        config = PrototypeConfig(threshold_bytes=max(64.0, alpha * s_star_bytes))
+        results[alpha] = run_prototype(config)
+    return s_star_bytes, results
+
+
+def test_alpha_sweep(benchmark, print_artifact):
+    s_star_bytes, results = benchmark.pedantic(
+        run_alpha_sweep, rounds=1, iterations=1
+    )
+    lines = [f"alpha sweep around s* = {s_star_bytes:.0f} B:"]
+    for alpha, result in results.items():
+        lines.append(
+            f"  alpha={alpha:4.1f}  threshold={result.threshold_bytes:6.0f} B"
+            f"  dual={result.dual_energy_per_packet_uj:7.1f} uJ/pkt"
+            f"  sensor={result.sensor_energy_per_packet_uj:7.1f} uJ/pkt"
+            f"  delay={result.mean_delay_per_packet_ms:8.0f} ms"
+        )
+    print_artifact("\n".join(lines))
+    # Below the break-even point the high radio must lose.
+    assert (
+        results[0.5].dual_energy_per_packet_uj
+        > results[0.5].sensor_energy_per_packet_uj
+    )
+    # Well above it, it must win.
+    assert (
+        results[4.0].dual_energy_per_packet_uj
+        < results[4.0].sensor_energy_per_packet_uj
+    )
+    # Diminishing returns: the 4->8 improvement is smaller than 1->2.
+    gain_low = (
+        results[1.0].dual_energy_per_packet_uj
+        - results[2.0].dual_energy_per_packet_uj
+    )
+    gain_high = (
+        results[4.0].dual_energy_per_packet_uj
+        - results[8.0].dual_energy_per_packet_uj
+    )
+    assert gain_low > gain_high
+    # BcpConfig.from_breakeven encodes the same sweep.
+    assert BcpConfig.from_breakeven(
+        DualRadioLink(low=MICAZ, high=LUCENT_11), alpha=2.0
+    ).threshold_bytes < BcpConfig.from_breakeven(
+        DualRadioLink(low=MICAZ, high=LUCENT_11), alpha=4.0
+    ).threshold_bytes

@@ -1,0 +1,30 @@
+"""Figure 1 — energy consumption vs data size (single hop, analytic).
+
+Expected shape: Micaz dominates the 2 Mb/s cards at every size; the
+Lucent 11 Mb/s + Micaz pairing crosses below Micaz near 1 KB and reaches
+~50% savings by ~4 KB.
+"""
+
+from repro.analysis.feasibility import crossover_table, fig1_energy_vs_size
+from repro.report.figures import fig1
+from repro.units import kb_to_bits
+
+
+def test_fig01(benchmark, print_artifact):
+    text = benchmark(fig1)
+    print_artifact(text)
+    series = {s.label: s for s in fig1_energy_vs_size()}
+    micaz, dual = series["Micaz"], series["Lucent (11Mbps)-Micaz"]
+    # The crossover exists and sits below 1 KB.
+    crossings = crossover_table()
+    assert 0 < crossings["Lucent (11Mbps)-Micaz"] < 1.0
+    assert crossings["Cabletron-Micaz"] == float("inf")
+    # ~50% savings at 4 KB.
+    from repro.energy import DualRadioLink, LUCENT_11, MICAZ
+    from repro.energy import energy_high, energy_low
+
+    link = DualRadioLink(low=MICAZ, high=LUCENT_11)
+    savings = 1 - energy_high(kb_to_bits(4), link) / energy_low(
+        kb_to_bits(4), MICAZ
+    )
+    assert 0.4 < savings < 0.65

@@ -1,0 +1,18 @@
+"""Figure 2 — break-even size vs high-radio idle time (analytic).
+
+Expected shape: s* grows with idle time, reaching tens-to-hundreds of KB
+around 1 s of idling (the paper reports 66-480 KB).
+"""
+
+from repro.analysis.feasibility import fig2_breakeven_vs_idle
+from repro.report.figures import fig2
+
+
+def test_fig02(benchmark, print_artifact):
+    text = benchmark(fig2)
+    print_artifact(text)
+    for series in fig2_breakeven_vs_idle(idle_times_s=[0.01, 0.1, 1.0]):
+        finite = [y for y in series.y if y != float("inf")]
+        assert finite == sorted(finite)  # monotone growth
+    at_1s = [s.y[0] for s in fig2_breakeven_vs_idle(idle_times_s=[1.0])]
+    assert all(10 < v < 1000 for v in at_1s)

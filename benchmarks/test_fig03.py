@@ -1,0 +1,27 @@
+"""Figure 3 — break-even size vs forward progress (analytic).
+
+Expected shape: s* falls with forward progress; the Micaz pairings are
+infeasible at one hop and become feasible within a few hops (the paper
+reports 3-4); s* for the feasible 2 Mb/s pairings stays sub-KB multi-hop.
+"""
+
+from repro.analysis.feasibility import fig3_breakeven_vs_forward_progress
+from repro.report.figures import fig3
+
+
+def test_fig03(benchmark, print_artifact):
+    text = benchmark(fig3)
+    print_artifact(text)
+    for series in fig3_breakeven_vs_forward_progress():
+        finite = [y for y in series.y if y != float("inf")]
+        assert finite == sorted(finite, reverse=True)
+        if series.label.endswith("Micaz"):
+            assert series.y[0] == float("inf")
+            first = next(
+                fp
+                for fp, y in zip(range(1, 7), series.y)
+                if y != float("inf")
+            )
+            assert 2 <= first <= 4
+        if series.label.endswith("-Mica"):
+            assert series.y[4] < 1.0  # sub-KB at 5 hops

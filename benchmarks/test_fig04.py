@@ -1,0 +1,26 @@
+"""Figure 4 — energy savings vs burst size (analytic).
+
+Expected shape: savings rise steeply to n~10 then flatten (the paper's
+rule of thumb); the 100 ms-idle variants save substantially more,
+approaching 0.8-0.95.
+"""
+
+from repro.analysis.burst_savings import (
+    burst_savings_fraction,
+    knee_burst_size,
+)
+from repro.energy.radio_specs import CABLETRON, LUCENT_2, LUCENT_11
+from repro.report.figures import fig4
+
+
+def test_fig04(benchmark, print_artifact):
+    text = benchmark(fig4)
+    print_artifact(text)
+    for spec in (CABLETRON, LUCENT_2, LUCENT_11):
+        assert knee_burst_size(spec) <= 10
+        assert burst_savings_fraction(spec, 10) > 0.8 * (
+            burst_savings_fraction(spec, 1000)
+        )
+        idle = burst_savings_fraction(spec, 1000, idle_before_off_s=0.1)
+        assert idle > 0.75
+        assert idle > burst_savings_fraction(spec, 1000)

@@ -1,0 +1,26 @@
+"""Figure 5 — SH goodput vs number of senders (simulation).
+
+Expected shape: the pure 802.11 model and the small/medium-burst dual
+configurations hold high goodput as senders grow, while the pure sensor
+model collapses under contention at 2 kb/s.
+"""
+
+from conftest import BENCH_SCALE, cached_sweep
+
+from repro.models.sweeps import LABEL_SENSOR, LABEL_WIFI, goodput_rows
+from repro.report.figures import fig5
+
+
+def test_fig05(benchmark, print_artifact):
+    def regenerate():
+        sweep = cached_sweep("SH", BENCH_SCALE, rate_bps=2000.0)
+        return fig5(sweep=sweep), sweep
+
+    (text, sweep) = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_artifact(text)
+    rows = goodput_rows(sweep)
+    heavy = max(sweep.sender_counts())
+    assert rows[LABEL_SENSOR][heavy] < 0.6
+    assert rows[LABEL_WIFI][heavy] > 0.85
+    assert rows["DualRadio-100"][heavy] > 0.85 * rows[LABEL_WIFI][heavy]
+    assert rows["DualRadio-100"][heavy] > rows[LABEL_SENSOR][heavy] + 0.2

@@ -1,0 +1,27 @@
+"""Figure 6 — SH normalized energy vs number of senders (simulation).
+
+Expected shape: DualRadio-100/500 sit several-fold below the
+header-overhearing sensor baseline and approach (here: beat, because the
+sensor still pays contention losses) the ideal sensor accounting, while
+DualRadio-10 — below the break-even point — wastes energy.
+"""
+
+from conftest import BENCH_SCALE, cached_sweep
+
+from repro.models.sweeps import energy_rows
+from repro.report.figures import fig6
+
+
+def test_fig06(benchmark, print_artifact):
+    def regenerate():
+        sweep = cached_sweep("SH", BENCH_SCALE, rate_bps=2000.0)
+        return fig6(sweep=sweep), sweep
+
+    (text, sweep) = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_artifact(text)
+    rows = energy_rows(sweep)
+    heavy = max(sweep.sender_counts())
+    assert rows["Sensor-header"][heavy] > rows["Sensor-ideal"][heavy]
+    assert rows["Sensor-header"][heavy] / rows["DualRadio-100"][heavy] > 2.0
+    assert rows["DualRadio-10"][heavy] > rows["Sensor-ideal"][heavy]
+    assert rows["DualRadio-100"][heavy] < rows["DualRadio-10"][heavy]

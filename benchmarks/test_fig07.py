@@ -1,0 +1,33 @@
+"""Figure 7 — SH normalized energy vs delay at 0.2 kb/s (simulation).
+
+Expected shape: along each sender-count line, growing the burst size
+moves points right (more buffering delay) and down (less energy per bit),
+with diminishing energy returns.
+"""
+
+from conftest import DELAY_SCALE, cached_sweep
+
+from repro.models.sweeps import energy_delay_points
+from repro.report.figures import fig7
+
+
+def test_fig07(benchmark, print_artifact):
+    def regenerate():
+        sweep = cached_sweep(
+            "SH",
+            DELAY_SCALE,
+            rate_bps=200.0,
+            include_wifi=False,
+            include_sensor=False,
+        )
+        return fig7(sweep=sweep), sweep
+
+    (text, sweep) = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_artifact(text)
+    points = energy_delay_points(sweep)
+    for n_senders, line in points.items():
+        delays = [delay for _burst, delay, _energy in line]
+        assert delays == sorted(delays), f"delay not monotone for {n_senders}"
+        energies = [e for _b, _d, e in line if e != float("inf")]
+        # Burst 100 must beat burst 10 on energy (10 is below s*).
+        assert energies[1] < energies[0]

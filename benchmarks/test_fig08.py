@@ -1,0 +1,25 @@
+"""Figure 8 — MH goodput vs number of senders (simulation).
+
+Expected shape: with Cabletron reaching the sink in one hop, the
+dual-radio model avoids multi-hop contention entirely for data and keeps
+high goodput where the pure sensor model collapses.
+"""
+
+from conftest import BENCH_SCALE, cached_sweep
+
+from repro.models.sweeps import LABEL_SENSOR, goodput_rows
+from repro.report.figures import fig8
+
+
+def test_fig08(benchmark, print_artifact):
+    def regenerate():
+        sweep = cached_sweep("MH", BENCH_SCALE, rate_bps=2000.0)
+        return fig8(sweep=sweep), sweep
+
+    (text, sweep) = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_artifact(text)
+    rows = goodput_rows(sweep)
+    heavy = max(sweep.sender_counts())
+    assert rows[LABEL_SENSOR][heavy] < 0.6
+    assert rows["DualRadio-100"][heavy] > rows[LABEL_SENSOR][heavy] + 0.2
+    assert rows["DualRadio-10"][heavy] > rows[LABEL_SENSOR][heavy] + 0.2

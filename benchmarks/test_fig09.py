@@ -1,0 +1,24 @@
+"""Figure 9 — MH normalized energy vs number of senders (simulation).
+
+Expected shape: the one-hop advantage makes the dual-radio model match or
+beat even the *ideal* sensor accounting; even DualRadio-10 improves on the
+header-overhearing sensor baseline.
+"""
+
+from conftest import BENCH_SCALE, cached_sweep
+
+from repro.models.sweeps import energy_rows
+from repro.report.figures import fig9
+
+
+def test_fig09(benchmark, print_artifact):
+    def regenerate():
+        sweep = cached_sweep("MH", BENCH_SCALE, rate_bps=2000.0)
+        return fig9(sweep=sweep), sweep
+
+    (text, sweep) = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_artifact(text)
+    rows = energy_rows(sweep)
+    heavy = max(sweep.sender_counts())
+    assert rows["DualRadio-100"][heavy] < rows["Sensor-ideal"][heavy]
+    assert rows["DualRadio-10"][heavy] < 1.05 * rows["Sensor-header"][heavy]

@@ -1,0 +1,31 @@
+"""Figure 10 — MH normalized energy vs delay at 0.2 kb/s (simulation).
+
+Expected shape: as in Fig. 7, larger bursts trade delay for energy; the
+absolute energies sit below the SH case thanks to the one-hop advantage.
+"""
+
+from conftest import DELAY_SCALE, cached_sweep
+
+from repro.models.sweeps import energy_delay_points
+from repro.report.figures import fig10
+
+
+def test_fig10(benchmark, print_artifact):
+    def regenerate():
+        sweep = cached_sweep(
+            "MH",
+            DELAY_SCALE,
+            rate_bps=200.0,
+            include_wifi=False,
+            include_sensor=False,
+        )
+        return fig10(sweep=sweep), sweep
+
+    (text, sweep) = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_artifact(text)
+    points = energy_delay_points(sweep)
+    for _n_senders, line in points.items():
+        delays = [delay for _burst, delay, _energy in line]
+        assert delays == sorted(delays)
+        energies = [e for _b, _d, e in line if e != float("inf")]
+        assert energies[1] < energies[0]

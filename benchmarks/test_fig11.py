@@ -1,0 +1,34 @@
+"""Figure 11 — prototype energy per packet vs threshold size α·s*.
+
+Expected shape: the sensor-radio baseline is flat; the dual-radio curve
+starts above it, drops steeply, crosses below around 1 KB, flattens with
+diminishing returns, and is *non-monotonic* (the 1024 B frame
+quantization sawtooth).
+"""
+
+from repro.report.figures import fig11
+from repro.testbed.experiment import default_threshold_sweep, sweep_thresholds
+
+
+def test_fig11(benchmark, print_artifact):
+    thresholds = default_threshold_sweep(step_bytes=128)
+
+    def regenerate():
+        return fig11(thresholds=thresholds), sweep_thresholds(thresholds)
+
+    (text, results) = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_artifact(text)
+    dual = [r.dual_energy_per_packet_uj for r in results]
+    sensor = [r.sensor_energy_per_packet_uj for r in results]
+    assert len(set(sensor)) == 1  # flat baseline
+    assert dual[0] > sensor[0]  # dual loses below s*
+    assert dual[-1] < sensor[-1] * 0.7  # and wins well above it
+    # Crossover within the sweep, around 1 KB.
+    crossover = next(
+        t for t, d, s in zip(
+            (r.threshold_bytes for r in results), dual, sensor
+        ) if d < s
+    )
+    assert 512 < crossover <= 2048
+    # Sawtooth: at least one local increase.
+    assert any(b > a + 1e-9 for a, b in zip(dual, dual[1:]))

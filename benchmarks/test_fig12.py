@@ -1,0 +1,30 @@
+"""Figure 12 — prototype energy per packet vs delay per packet.
+
+Expected shape: energy falls sharply as allowed delay grows, then
+flattens — "beyond a region, increased delay does not improve the energy
+savings much".
+"""
+
+from repro.report.figures import fig12
+from repro.testbed.experiment import default_threshold_sweep, sweep_thresholds
+
+
+def test_fig12(benchmark, print_artifact):
+    thresholds = default_threshold_sweep(step_bytes=256)
+
+    def regenerate():
+        return fig12(thresholds=thresholds), sweep_thresholds(thresholds)
+
+    (text, results) = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_artifact(text)
+    delays = [r.mean_delay_per_packet_ms for r in results]
+    dual = [r.dual_energy_per_packet_uj for r in results]
+    assert delays == sorted(delays)
+    # Steep early gain, flat tail: first half of the delay range captures
+    # most of the total energy drop.
+    total_drop = dual[0] - min(dual)
+    mid = len(dual) // 2
+    early_drop = dual[0] - min(dual[: mid + 1])
+    assert early_drop > 0.7 * total_drop
+    # Paper's delay scale: hundreds of ms to tens of seconds.
+    assert delays[-1] > 10_000

@@ -1,0 +1,11 @@
+"""Table 1 — radio energy characteristics (exact constants)."""
+
+from repro.report.figures import table1
+
+
+def test_table1(benchmark, print_artifact):
+    text = benchmark(table1)
+    print_artifact(text)
+    # Spot-check the paper's numbers survived rendering.
+    assert "1400" in text and "1.328" in text  # Cabletron
+    assert "250Kbps" in text  # Micaz

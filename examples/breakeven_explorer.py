@@ -1,0 +1,83 @@
+"""Break-even explorer: when does a second radio pay off? (Section 2 tour)
+
+Walks the paper's entire feasibility analysis for every radio pairing:
+
+* single-hop break-even points (Figure 1's crossings),
+* sensitivity to imperfect power management (Figure 2's idle sweep),
+* the multi-hop range advantage (Figure 3's forward progress),
+* burst-size diminishing returns and the n=10 rule of thumb (Figure 4).
+
+Run:  python examples/breakeven_explorer.py
+"""
+
+from repro.analysis import burst_savings_fraction, knee_burst_size
+from repro.energy import (
+    HIGH_POWER_RADIOS,
+    LOW_POWER_RADIOS,
+    DualRadioLink,
+    breakeven_bits,
+    breakeven_bits_multihop,
+)
+from repro.units import bits_to_kb
+
+
+def single_hop_matrix() -> None:
+    print("Single-hop break-even points s* (KB); '-' = never pays off")
+    print(f"{'':18s}" + "".join(f"{low.name:>10s}" for low in LOW_POWER_RADIOS))
+    for high in HIGH_POWER_RADIOS:
+        cells = []
+        for low in LOW_POWER_RADIOS:
+            s_star = breakeven_bits(DualRadioLink(low=low, high=high))
+            cells.append(
+                "         -" if s_star == float("inf")
+                else f"{bits_to_kb(s_star):10.2f}"
+            )
+        print(f"{high.name:18s}" + "".join(cells))
+
+
+def idle_sensitivity() -> None:
+    print("\nEffect of imperfect power management (Micaz + Lucent 11Mbps):")
+    for idle_ms in (0, 10, 100, 1000):
+        link = DualRadioLink(low=LOW_POWER_RADIOS[2], high=HIGH_POWER_RADIOS[2],
+                             idle_s=idle_ms / 1000.0)
+        s_star = breakeven_bits(link)
+        print(
+            f"  {idle_ms:5d} ms idle -> s* = {bits_to_kb(s_star):8.1f} KB"
+        )
+    print("  every millisecond the 802.11 radio idles must be bought back")
+    print("  with more buffered data — why BCP turns it off so eagerly.")
+
+
+def forward_progress() -> None:
+    print("\nMulti-hop advantage (Cabletron, 250 m, vs Micaz hops):")
+    link = DualRadioLink(low=LOW_POWER_RADIOS[2], high=HIGH_POWER_RADIOS[0])
+    for hops in range(1, 7):
+        s_star = breakeven_bits_multihop(link, hops)
+        text = (
+            "infeasible" if s_star == float("inf")
+            else f"s* = {bits_to_kb(s_star):6.2f} KB"
+        )
+        print(f"  replaces {hops} sensor hop(s): {text}")
+    print("  a pairing that is hopeless single-hop becomes attractive once")
+    print("  one 802.11 transmission replaces several sensor relays.")
+
+
+def burst_rule_of_thumb() -> None:
+    print("\nBurst-size diminishing returns (1 KB packets):")
+    for high in HIGH_POWER_RADIOS:
+        knee = knee_burst_size(high)
+        at_knee = burst_savings_fraction(high, knee)
+        asymptote = burst_savings_fraction(high, 100_000)
+        print(
+            f"  {high.name:18s}: 90% of max savings at n={knee:2d} "
+            f"({at_knee:.2f} of {asymptote:.2f})"
+        )
+    print("  the paper's rule of thumb — ~10 packets per burst — captures")
+    print("  most of the achievable savings for every card.")
+
+
+if __name__ == "__main__":
+    single_hop_matrix()
+    idle_sensitivity()
+    forward_progress()
+    burst_rule_of_thumb()

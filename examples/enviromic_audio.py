@@ -1,0 +1,64 @@
+"""EnviroMic-style acoustic monitoring: bulk transfer at near-real-time.
+
+The paper's second motivating application: "Recent applications, such as
+EnviroMic, where audio is being transmitted through the network,
+accumulate data much faster making performance almost real-time despite
+data buffering."
+
+Six acoustic stations capture 64 kb/s audio clips when events occur
+(on/off bursts) and stream them to a collection point over BCP.  Because
+a two-second clip is ~16 KB — far beyond the break-even point — buffers
+fill in seconds and the 802.11 radio moves each clip in one bulk session:
+high goodput, large energy advantage, and delays of seconds rather than
+the minutes/hours of the slow-monitoring case.
+
+Run:  python examples/enviromic_audio.py
+"""
+
+from repro.models import ScenarioConfig, run_scenario
+
+SIM_TIME_S = 900.0
+
+
+def main() -> None:
+    base = ScenarioConfig(
+        rows=4,
+        cols=4,
+        sink=5,
+        n_senders=6,
+        traffic="audio",
+        sim_time_s=SIM_TIME_S,
+        seed=21,
+    )
+    print("EnviroMic-style workload: 6 stations, 64 kb/s audio bursts of")
+    print(f"~2 s separated by ~60 s of silence; {SIM_TIME_S:.0f} s simulated.\n")
+
+    sensor = run_scenario(base.replace(model="sensor"))
+    dual = run_scenario(base.replace(model="dual", burst_packets=100))
+
+    header = f"{'model':14s} {'goodput':>8s} {'J/Kbit':>9s} {'mean delay':>11s} {'max delay':>10s}"
+    print(header)
+    print("-" * len(header))
+    for label, result in (("Sensor", sensor), ("DualRadio-100", dual)):
+        print(
+            f"{label:14s} {result.goodput:8.3f} "
+            f"{result.normalized_energy_j_per_kbit():9.5f} "
+            f"{result.mean_delay_s:10.2f}s "
+            f"{result.max_delay_s:9.2f}s"
+        )
+
+    print()
+    clip_bits = 64_000 * 2.0
+    print(f"Each acoustic event produces ~{clip_bits / 8 / 1024:.0f} KB —")
+    print("dozens of break-even points' worth — so BCP fills its burst")
+    print("threshold within the clip itself and ships it immediately:")
+    print("bulk transfer at interactive latency, exactly the paper's")
+    print("'almost real-time despite data buffering' observation.")
+    print()
+    print("The pure sensor network, by contrast, must squeeze 64 kb/s")
+    print("bursts through a 250 kb/s shared multi-hop MAC: queues grow,")
+    print("frames collide, and clips arrive incomplete (lower goodput).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Environmental monitoring: choosing a burst size for a slow deployment.
+
+The paper's motivating application class: "many environmental monitoring
+applications measure natural phenomena over long periods of time, a
+collection delay of even several days is not detrimental, especially if it
+increases system lifetime."
+
+This example deploys a 36-node grid where 12 stations report 0.2 kb/s of
+readings to a collection point, sweeps BCP's burst size, and translates
+the resulting per-node power draw into battery lifetime — the quantity an
+operator actually plans around.
+
+Run:  python examples/environmental_monitoring.py
+"""
+
+from repro.energy import Battery
+from repro.models import ScenarioConfig, run_scenario
+
+SIM_TIME_S = 2400.0
+N_SENDERS = 12
+
+
+def main() -> None:
+    base = ScenarioConfig(
+        model="dual",
+        n_senders=N_SENDERS,
+        rate_bps=200.0,  # one 32 B reading every 1.28 s
+        sim_time_s=SIM_TIME_S,
+        seed=7,
+    )
+    print("Environmental monitoring: 12 stations, 0.2 kb/s each,")
+    print(f"{SIM_TIME_S:.0f} s simulated.  Sweeping the BCP burst size:\n")
+    header = (
+        f"{'burst':>6s} {'goodput':>8s} {'J/Kbit':>9s} {'delay':>9s} "
+        f"{'node power':>11s} {'AA lifetime':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    sensor = run_scenario(base.replace(model="sensor"))
+    rows = [("sensor", sensor)]
+    for burst in (10, 50, 100, 300):
+        result = run_scenario(base.replace(burst_packets=burst))
+        rows.append((f"{burst}", result))
+
+    for label, result in rows:
+        # Average per-node radio power over the run.
+        power_w = result.energy_j["total"] / result.sim_time_s / 36
+        days = Battery().lifetime_days(power_w) if power_w > 0 else float("inf")
+        print(
+            f"{label:>6s} {result.goodput:8.3f} "
+            f"{result.normalized_energy_j_per_kbit():9.5f} "
+            f"{result.mean_delay_s:8.1f}s "
+            f"{power_w * 1e3:9.3f} mW "
+            f"{days:10.0f} d"
+        )
+
+    print()
+    print("Reading the table: small bursts wake the 802.11 radio for tiny")
+    print("payloads and lose to the plain sensor network; once the burst")
+    print("clears the break-even point the dual-radio deployment delivers")
+    print("the same data for less energy, and the only cost is reporting")
+    print("latency — which this application class does not care about.")
+
+
+if __name__ == "__main__":
+    main()

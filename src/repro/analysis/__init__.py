@@ -1,0 +1,37 @@
+"""Closed-form analysis sweeps behind Figures 1–4."""
+
+from repro.analysis.burst_savings import (
+    FIG4_PACKET_BYTES,
+    IDLE_BEFORE_OFF_S,
+    awake_overhead_j,
+    burst_savings_fraction,
+    fig4_savings_vs_burst,
+    knee_burst_size,
+    packet_energy_j,
+)
+from repro.analysis.feasibility import (
+    FIG2_PAIRS,
+    FIG3_PAIRS,
+    Series,
+    crossover_table,
+    fig1_energy_vs_size,
+    fig2_breakeven_vs_idle,
+    fig3_breakeven_vs_forward_progress,
+)
+
+__all__ = [
+    "FIG2_PAIRS",
+    "FIG3_PAIRS",
+    "FIG4_PACKET_BYTES",
+    "IDLE_BEFORE_OFF_S",
+    "Series",
+    "awake_overhead_j",
+    "burst_savings_fraction",
+    "crossover_table",
+    "fig1_energy_vs_size",
+    "fig2_breakeven_vs_idle",
+    "fig3_breakeven_vs_forward_progress",
+    "fig4_savings_vs_burst",
+    "knee_burst_size",
+    "packet_energy_j",
+]

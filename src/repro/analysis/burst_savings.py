@@ -1,0 +1,114 @@
+"""Burst-size diminishing returns (paper Section 2.2, Figure 4).
+
+"Fig. 4 shows the energy savings from sending n packets in one shot in
+comparison to waking up n times and sending 1 packet at each awake period.
+...  The energy savings are greater when nodes idle 100 ms before turning
+off (labeled as 'idle').  Since, in both cases, the majority of savings are
+obtained when n = 10, this can be used as the rule of thumb to determine
+the burst size."
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.analysis.feasibility import Series
+from repro.energy.radio_specs import CABLETRON, LUCENT_2, LUCENT_11, RadioSpec
+
+#: The pre-sleep idle the paper's "idle" variant charges per awake period.
+IDLE_BEFORE_OFF_S = 0.1
+
+#: Packet size used in Fig. 4 ("10 packets (i.e., 10 KB)" → 1 KB packets).
+FIG4_PACKET_BYTES = 1024
+
+
+def packet_energy_j(spec: RadioSpec, packet_bytes: int = FIG4_PACKET_BYTES) -> float:
+    """Link (tx+rx) energy of one data packet over ``spec``."""
+    bits = packet_bytes * 8 + spec.header_bits
+    return spec.link_power_w * bits / spec.rate_bps
+
+
+def awake_overhead_j(spec: RadioSpec, idle_before_off_s: float = 0.0) -> float:
+    """Fixed cost of one awake period: both ends wake (+ optional idling)."""
+    overhead = 2.0 * spec.e_wakeup_j
+    overhead += 2.0 * spec.p_idle_w * idle_before_off_s
+    return overhead
+
+
+def burst_savings_fraction(
+    spec: RadioSpec,
+    n_packets: int,
+    idle_before_off_s: float = 0.0,
+    packet_bytes: int = FIG4_PACKET_BYTES,
+) -> float:
+    """Savings of one n-packet burst vs n single-packet awake periods.
+
+    ``1 - E_bulk / E_one_by_one`` — zero at n = 1 by construction, rising
+    toward ``overhead / (overhead + packet)`` as n grows.
+    """
+    if n_packets < 1:
+        raise ValueError("n_packets must be at least 1")
+    packet = packet_energy_j(spec, packet_bytes)
+    overhead = awake_overhead_j(spec, idle_before_off_s)
+    one_by_one = n_packets * (overhead + packet)
+    bulk = overhead + n_packets * packet
+    return 1.0 - bulk / one_by_one
+
+
+def fig4_savings_vs_burst(
+    burst_sizes: typing.Sequence[int] | None = None,
+) -> list[Series]:
+    """Fig. 4: savings fraction vs burst size, with and without idling."""
+    if burst_sizes is None:
+        sizes: list[int] = []
+        n = 1
+        while n <= 1000:
+            sizes.append(n)
+            n = max(n + 1, int(n * 1.3))
+        if sizes[-1] != 1000:
+            sizes.append(1000)
+    else:
+        sizes = list(burst_sizes)
+    series = []
+    for spec in (CABLETRON, LUCENT_2, LUCENT_11):
+        fractions = [burst_savings_fraction(spec, n) for n in sizes]
+        series.append(
+            Series(
+                spec.name,
+                tuple(float(n) for n in sizes),
+                tuple(fractions),
+            )
+        )
+    for spec in (CABLETRON, LUCENT_2, LUCENT_11):
+        fractions = [
+            burst_savings_fraction(spec, n, idle_before_off_s=IDLE_BEFORE_OFF_S)
+            for n in sizes
+        ]
+        series.append(
+            Series(
+                f"{spec.name}-Idle",
+                tuple(float(n) for n in sizes),
+                tuple(fractions),
+            )
+        )
+    return series
+
+
+def knee_burst_size(
+    spec: RadioSpec,
+    idle_before_off_s: float = 0.0,
+    capture_fraction: float = 0.9,
+) -> int:
+    """Smallest n capturing ``capture_fraction`` of the asymptotic savings.
+
+    The paper's rule of thumb says this lands around n = 10.
+    """
+    if not 0 < capture_fraction < 1:
+        raise ValueError("capture_fraction must be in (0, 1)")
+    asymptote = burst_savings_fraction(spec, 10**9, idle_before_off_s)
+    n = 1
+    while burst_savings_fraction(spec, n, idle_before_off_s) < (
+        capture_fraction * asymptote
+    ):
+        n += 1
+    return n

@@ -1,0 +1,5 @@
+"""Wireless channel: shared media, propagation, collisions, random loss."""
+
+from repro.channel.medium import LossModel, Medium, Transmission
+
+__all__ = ["LossModel", "Medium", "Transmission"]

@@ -1,0 +1,313 @@
+"""The shared wireless medium: propagation, collisions and overhearing.
+
+One :class:`Medium` models one frequency channel; the dual-radio scenarios
+create two (the paper assumes the sensor and 802.11 radios operate on
+non-overlapping channels).
+
+Model
+-----
+* **Propagation** — unit-disc by each sender's nominal range.  Frames take
+  ``total_bits / rate`` seconds on the air.
+* **Collisions** — receiver-centric: a unicast reception fails if another
+  transmission audible at the receiver overlaps it in time (including the
+  receiver's own transmissions — radios are half-duplex).  This models the
+  hidden-terminal losses that carrier sensing cannot prevent.
+* **Capture** — an overlapping transmission only corrupts the frame when
+  the interferer is not markedly weaker than the wanted signal.  With
+  distance-based power (path loss exponent ~3.5) an interferer at
+  ``capture_ratio`` times the sender's distance is ≈8 dB down and the
+  receiver captures the wanted frame — the behaviour real CC2420 and
+  802.11 receivers (and the classic ns-2 model) exhibit.  Set
+  ``capture_ratio=None`` for the pessimistic any-overlap-kills model.
+* **Random loss** — an optional per-frame Bernoulli loss applied on top of
+  collisions (:class:`LossModel`).
+* **Overhearing** — every *listening* neighbour of the sender is charged
+  reception energy for the frame via its radio's accounting hook; the
+  evaluation models then include or exclude those charges (Sensor-ideal vs
+  Sensor-header, Section 4).
+
+For performance the medium never schedules per-neighbour events: one start
+and one end event per transmission, with set arithmetic over the (small)
+set of concurrently active transmissions.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mac.frames import Frame
+from repro.topology.geometry import in_range
+from repro.topology.layout import Layout
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.radio import RadioPort
+    from repro.sim.simulator import Simulator
+
+
+class LossModel:
+    """Independent Bernoulli frame loss.
+
+    Parameters
+    ----------
+    probability:
+        Chance that an otherwise successful frame is lost (0 disables).
+    rng:
+        Random stream used for loss draws.
+    """
+
+    def __init__(self, probability: float = 0.0, rng: typing.Any = None):
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1), got {probability}")
+        self.probability = probability
+        self._rng = rng
+
+    def is_lost(self) -> bool:
+        """Draw one loss decision."""
+        if self.probability <= 0.0:
+            return False
+        return self._rng.random() < self.probability
+
+
+class Transmission:
+    """Bookkeeping record for one in-flight frame."""
+
+    __slots__ = (
+        "sender",
+        "frame",
+        "start_s",
+        "end_s",
+        "corrupted",
+        "receiver_listening",
+    )
+
+    def __init__(
+        self,
+        sender: "RadioPort",
+        frame: Frame,
+        start_s: float,
+        end_s: float,
+        receiver_listening: bool,
+    ):
+        self.sender = sender
+        self.frame = frame
+        self.start_s = start_s
+        self.end_s = end_s
+        #: Set when another audible transmission overlapped at the receiver.
+        self.corrupted = False
+        #: Whether the addressed receiver could hear when the frame started.
+        self.receiver_listening = receiver_listening
+
+
+class Medium:
+    """One radio channel shared by a set of registered radio ports.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    layout:
+        Node placement (positions are looked up per node id).
+    name:
+        Channel label, used for RNG stream naming and traces.
+    loss:
+        Optional random-loss model applied to otherwise successful frames.
+    """
+
+    #: Default capture threshold as a distance ratio: an interferer farther
+    #: than 1.7x the sender's distance is ~8 dB weaker (path loss ~3.5) and
+    #: does not corrupt the reception.  DSSS radios reject co-channel
+    #: interference much harder — the CC2420 datasheet specifies ~3 dB
+    #: co-channel rejection, i.e. a ratio near
+    #: :data:`CC2420_CAPTURE_RATIO` — so the sensor channel uses that.
+    DEFAULT_CAPTURE_RATIO = 1.7
+
+    #: Distance-ratio equivalent of the CC2420's 3 dB co-channel rejection
+    #: at path-loss exponent 3.5 (10^(3/35)).
+    CC2420_CAPTURE_RATIO = 1.25
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        layout: Layout,
+        name: str = "channel",
+        loss: LossModel | None = None,
+        capture_ratio: float | None = DEFAULT_CAPTURE_RATIO,
+    ):
+        self.sim = sim
+        self.layout = layout
+        self.name = name
+        self.loss = loss or LossModel(0.0)
+        if capture_ratio is not None and capture_ratio < 1.0:
+            raise ValueError("capture_ratio must be >= 1 (or None)")
+        self.capture_ratio = capture_ratio
+        self._ports: dict[int, "RadioPort"] = {}
+        self._active: list[Transmission] = []
+        #: node id -> ids of nodes within *that node's* transmit range.
+        self._neighbor_cache: dict[int, list[int]] = {}
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_collided = 0
+        self.frames_lost = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, port: "RadioPort") -> None:
+        """Attach a radio port; one port per node per medium."""
+        if port.node_id in self._ports:
+            raise ValueError(
+                f"node {port.node_id} already has a radio on medium {self.name!r}"
+            )
+        if port.node_id not in self.layout:
+            raise ValueError(f"node {port.node_id} is not in the layout")
+        self._ports[port.node_id] = port
+        self._neighbor_cache.clear()
+
+    def port(self, node_id: int) -> "RadioPort":
+        """The radio port registered for ``node_id``."""
+        return self._ports[node_id]
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """Registered nodes within ``node_id``'s transmit range (cached)."""
+        cached = self._neighbor_cache.get(node_id)
+        if cached is None:
+            port = self._ports[node_id]
+            origin = self.layout.position(node_id)
+            cached = [
+                other
+                for other in self._ports
+                if other != node_id
+                and in_range(origin, self.layout.position(other), port.range_m)
+            ]
+            self._neighbor_cache[node_id] = cached
+        return cached
+
+    # -- carrier sensing -----------------------------------------------------
+
+    def is_busy_for(self, node_id: int) -> bool:
+        """Whether ``node_id`` senses the channel busy right now.
+
+        True if any active transmission's sender is within *its own* range
+        of the listener (energy detection at the listener's position).
+        """
+        listener_pos = self.layout.position(node_id)
+        for tx in self._active:
+            sender_id = tx.sender.node_id
+            if sender_id == node_id:
+                return True
+            if in_range(
+                self.layout.position(sender_id), listener_pos, tx.sender.range_m
+            ):
+                return True
+        return False
+
+    # -- transmission ------------------------------------------------------
+
+    def transmit(self, sender: "RadioPort", frame: Frame) -> "typing.Any":
+        """Put ``frame`` on the air from ``sender``; returns the end event.
+
+        The caller (the radio) is responsible for putting itself into the
+        transmitting state for the returned duration; the medium handles
+        interference, delivery and receiver-side energy.
+        """
+        duration = sender.airtime(frame)
+        start, end = self.sim.now, self.sim.now + duration
+        receiver_port = (
+            self._ports.get(frame.dst) if not frame.is_broadcast else None
+        )
+        record = Transmission(
+            sender,
+            frame,
+            start,
+            end,
+            receiver_listening=(
+                receiver_port.is_listening if receiver_port is not None else False
+            ),
+        )
+        self.frames_sent += 1
+
+        # Interference bookkeeping against currently active transmissions.
+        for other in self._active:
+            # The new transmission corrupts ongoing receptions whose
+            # receiver hears this sender too loudly to reject it.
+            if not other.frame.is_broadcast and not other.corrupted:
+                if self._corrupts(interferer=sender, victim=other):
+                    other.corrupted = True
+            # Ongoing transmissions corrupt the new one if audible at its
+            # receiver (this includes the receiver itself transmitting).
+            if receiver_port is not None and not record.corrupted:
+                if self._corrupts(interferer=other.sender, victim=record):
+                    record.corrupted = True
+
+        self._active.append(record)
+        end_event = self.sim.timeout(duration)
+        end_event.callbacks.append(lambda _event: self._finish(record))
+        return end_event
+
+    def _corrupts(self, interferer: "RadioPort", victim: Transmission) -> bool:
+        """Whether ``interferer``'s signal ruins ``victim``'s reception.
+
+        The interferer must be audible at the victim's receiver, and — when
+        capture is enabled — not far enough away for the receiver to reject
+        it.  A receiver that is itself transmitting (distance 0) is always
+        corrupted: radios are half-duplex.
+        """
+        victim_rx = victim.frame.dst
+        if victim_rx == interferer.node_id:
+            return True
+        if victim_rx not in self._ports:
+            return False
+        rx_pos = self.layout.position(victim_rx)
+        interferer_pos = self.layout.position(interferer.node_id)
+        if not in_range(interferer_pos, rx_pos, interferer.range_m):
+            return False
+        if self.capture_ratio is None:
+            return True
+        signal_distance = self.layout.position(
+            victim.sender.node_id
+        ).distance_to(rx_pos)
+        interference_distance = interferer_pos.distance_to(rx_pos)
+        return interference_distance < self.capture_ratio * signal_distance
+
+    def _finish(self, record: Transmission) -> None:
+        """End-of-frame: deliver (or not) and charge receiver-side energy."""
+        self._active.remove(record)
+        frame = record.frame
+        sender_id = record.sender.node_id
+        duration = record.end_s - record.start_s
+
+        # Receiver-side energy for everyone who heard the frame.  Charged
+        # whether or not the frame decodes: the radio listened regardless.
+        # Promiscuous listeners additionally get a copy of frames addressed
+        # elsewhere (approximation: decodability at third parties follows
+        # the addressed receiver's collision outcome).
+        for neighbor_id in self.neighbors(sender_id):
+            port = self._ports[neighbor_id]
+            if not port.is_listening:
+                continue
+            addressed = neighbor_id == frame.dst or frame.is_broadcast
+            port.charge_reception(frame, duration, addressed=addressed)
+            if port.promiscuous and not addressed and not record.corrupted:
+                port.deliver_overheard(frame)
+
+        if frame.is_broadcast:
+            for neighbor_id in self.neighbors(sender_id):
+                port = self._ports[neighbor_id]
+                if port.is_listening and not self.loss.is_lost():
+                    port.deliver(frame)
+            self.frames_delivered += 1
+            return
+
+        port = self._ports.get(frame.dst)
+        if port is None:
+            return
+        in_reach = frame.dst in self.neighbors(sender_id)
+        if not in_reach or not record.receiver_listening or not port.is_listening:
+            return
+        if record.corrupted:
+            self.frames_collided += 1
+            return
+        if self.loss.is_lost():
+            self.frames_lost += 1
+            return
+        self.frames_delivered += 1
+        port.deliver(frame)

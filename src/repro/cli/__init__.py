@@ -1,0 +1,5 @@
+"""Command-line interface (``repro`` / ``python -m repro.cli``)."""
+
+from repro.cli.main import build_parser, main, render_artifact
+
+__all__ = ["build_parser", "main", "render_artifact"]

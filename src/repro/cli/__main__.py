@@ -1,0 +1,7 @@
+"""``python -m repro.cli`` entry point."""
+
+import sys
+
+from repro.cli.main import main
+
+sys.exit(main())

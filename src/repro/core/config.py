@@ -1,0 +1,136 @@
+"""BCP protocol configuration.
+
+The single protocol parameter the paper exposes is the buffering threshold
+``α·s*`` (Section 3): data is buffered until it reaches α times the
+break-even point, α > 1 (though the evaluation also runs α < 1 bursts to
+show they waste energy).  The remaining knobs — handshake timeouts and
+retries, receiver flow control, the optional post-burst idle linger — are
+protocol mechanics the paper describes without constants; defaults are
+chosen to be safely above the worst-case control-path latency of the
+evaluation scenarios and are swept by the sensitivity benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.energy.breakeven import DualRadioLink, breakeven_bits
+
+#: Fallback threshold when radio characteristics are unknown: "If these are
+#: not known, α·s* can be set, for instance, 10 K based on our analysis in
+#: Section 2.2."
+RULE_OF_THUMB_THRESHOLD_BYTES = 10 * 1024
+
+
+@dataclasses.dataclass
+class BcpConfig:
+    """Tunable parameters of one node's BCP agent.
+
+    Attributes
+    ----------
+    threshold_bytes:
+        Buffered bytes per next hop that trigger the wake-up handshake
+        (the paper's α·s*).
+    buffer_capacity_bytes:
+        Node-wide buffer budget (evaluation: 5000 × 32 B).
+    frame_payload_bytes:
+        High-power frame payload for burst assembly (evaluation: 1024 B).
+    wakeup_timeout_s / wakeup_retries:
+        Stop-and-wait parameters of the WAKEUP handshake.  The timeout
+        must exceed the *loaded* round-trip of the multi-hop control path
+        (seconds, not milliseconds, when dozens of flows converge on a
+        congested CSMA mesh); retrying early duplicates multi-hop traffic
+        and collapses the control plane.
+    handshake_backoff_s:
+        Base pause before re-attempting a handshake whose retries were
+        exhausted (the receiver may be congested or its buffer full).
+        The agent doubles it per consecutive failure (capped at 32x) so
+        wake-up retries cannot amplify control-network congestion.
+    receiver_idle_timeout_s:
+        "To avoid waiting for the sender data indefinitely, the receiver
+        times out and turns its high-power radio off if it does not
+        receive any data packets" — also applied between data frames.
+    idle_linger_s:
+        How long a radio stays on after its last session ends (0 = turn
+        off immediately; Fig. 4's "idle" variant corresponds to 100 ms).
+    flow_control:
+        Whether the receiver clamps bursts to its free buffer space (the
+        paper's behaviour; ablation benches turn it off).
+    shortcut_learning:
+        Whether the high-power data path starts from the *low-power*
+        routes ("use the existing routes over the low-power radios
+        initially", Section 3) instead of a precomputed high-power table.
+    shortcut_observation:
+        With ``shortcut_learning``, whether senders actually listen for
+        their packets being forwarded and adopt shortcuts (off = the
+        static low-route baseline the optimization is measured against).
+    max_delay_s:
+        Optional per-packet delay budget — the paper's *future work*
+        (Section 5): "Based on delay constraints, the low-power radio can
+        also be allowed to send data."  When a buffered packet's age
+        reaches this budget before the threshold fills, the buffer is
+        flushed over the low-power radio instead of waiting for a bulk
+        session.  ``None`` (default) is the paper's pure BCP.
+    """
+
+    threshold_bytes: float = float(RULE_OF_THUMB_THRESHOLD_BYTES)
+    buffer_capacity_bytes: float = 5000 * 32.0
+    frame_payload_bytes: int = 1024
+    wakeup_timeout_s: float = 3.0
+    wakeup_retries: int = 3
+    handshake_backoff_s: float = 1.0
+    receiver_idle_timeout_s: float = 3.0
+    idle_linger_s: float = 0.0
+    flow_control: bool = True
+    shortcut_learning: bool = False
+    shortcut_observation: bool = True
+    max_delay_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_delay_s is not None and self.max_delay_s <= 0:
+            raise ValueError("max_delay_s must be positive (or None)")
+        if self.threshold_bytes <= 0:
+            raise ValueError("threshold must be positive")
+        if self.buffer_capacity_bytes < self.threshold_bytes:
+            raise ValueError(
+                "buffer capacity must be at least the threshold "
+                f"({self.buffer_capacity_bytes} < {self.threshold_bytes})"
+            )
+        if self.frame_payload_bytes <= 0:
+            raise ValueError("frame payload must be positive")
+        if self.wakeup_retries < 0:
+            raise ValueError("wakeup_retries must be non-negative")
+
+    @classmethod
+    def from_breakeven(
+        cls, link: DualRadioLink, alpha: float = 2.0, **overrides: object
+    ) -> "BcpConfig":
+        """Build a config with ``threshold = α · s*`` for ``link``.
+
+        Falls back to the 10 KB rule of thumb when the link has no finite
+        break-even point (Section 3's guidance).
+        """
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        s_star_bits = breakeven_bits(link)
+        if s_star_bits == float("inf"):
+            threshold = float(RULE_OF_THUMB_THRESHOLD_BYTES)
+        else:
+            threshold = alpha * s_star_bits / 8.0
+        return cls(threshold_bytes=threshold, **overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def for_burst_packets(
+        cls, burst_packets: int, packet_payload_bytes: int = 32, **overrides: object
+    ) -> "BcpConfig":
+        """Build a config from the evaluation's burst-size parameter.
+
+        Section 4.1 sweeps the threshold in sensor packets (10, 100, 500,
+        1000, 2500 × 32 B); this constructor mirrors that parameterization.
+        """
+        if burst_packets <= 0:
+            raise ValueError("burst size must be positive")
+        return cls(
+            threshold_bytes=float(burst_packets * packet_payload_bytes),
+            **overrides,  # type: ignore[arg-type]
+        )

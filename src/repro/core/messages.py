@@ -1,0 +1,88 @@
+"""BCP control messages and the low-radio control envelope.
+
+The wake-up handshake (paper Section 3) is carried entirely over the
+low-power radio: the sender transmits a :class:`Wakeup` naming the burst it
+wants to send; the receiver answers with a :class:`WakeupAck` naming the
+burst it will accept (flow control).  Control messages "may travel multiple
+hops to reach the receiver", so they ride inside a :class:`ControlEnvelope`
+that the BCP agent at each intermediate node relays along the low-power
+route.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from repro.units import BITS_PER_BYTE
+
+_session_ids = itertools.count(1)
+
+
+def new_session_id() -> int:
+    """Allocate a globally unique bulk-transfer session id."""
+    return next(_session_ids)
+
+
+@dataclasses.dataclass(frozen=True)
+class Wakeup:
+    """WAKEUP: "I have ``burst_bytes`` buffered for you — wake your radio."
+
+    Attributes
+    ----------
+    origin / target:
+        Bulk sender and bulk receiver node ids.
+    session_id:
+        Identifies the handshake (retries reuse it; acks echo it).
+    burst_bytes:
+        Amount of buffered data the sender wants to transfer.
+    """
+
+    origin: int
+    target: int
+    session_id: int
+    burst_bytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class WakeupAck:
+    """WAKEUP-ACK: "send up to ``allowed_bytes``" (0 never happens — a full
+    receiver simply stays silent, per Section 3)."""
+
+    origin: int
+    target: int
+    session_id: int
+    allowed_bytes: int
+
+
+@dataclasses.dataclass
+class ControlEnvelope:
+    """Hop-by-hop wrapper for control messages on the low-power radio.
+
+    Attributes
+    ----------
+    message:
+        The :class:`Wakeup` or :class:`WakeupAck` being carried.
+    src / dst:
+        End-to-end endpoints (not the per-hop MAC addresses).
+    ttl:
+        Remaining hop budget; relays decrement it and drop at zero.
+    """
+
+    message: object
+    src: int
+    dst: int
+    ttl: int = 32
+
+    def forwarded(self) -> "ControlEnvelope":
+        """A copy with one hop consumed."""
+        return ControlEnvelope(self.message, self.src, self.dst, self.ttl - 1)
+
+
+#: On-air payload size of a control message (bytes).  A WAKEUP carries two
+#: addresses, a session id and a burst size — 16 bytes is generous and is
+#: the same constant the break-even analysis uses by default.
+CONTROL_PAYLOAD_BYTES = 16
+
+#: Control payload in bits.
+CONTROL_PAYLOAD_BITS = CONTROL_PAYLOAD_BYTES * BITS_PER_BYTE

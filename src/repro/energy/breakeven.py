@@ -1,0 +1,253 @@
+"""Break-even analysis of dual-radio transmission (paper Section 2.1).
+
+Implements Equations 1–5 of the paper:
+
+* :func:`energy_low` — Eq. 1: energy to move ``s`` bits one hop over the
+  low-power radio (sender tx + receiver rx; overhearing optional).
+* :func:`energy_high` — Eq. 2: energy to move ``s`` bits over the
+  high-power radio, including both radios' wake-up energy, the low-power
+  wake-up handshake, and idle time while awake.
+* :func:`breakeven_bits` — Eq. 3: the break-even size ``s*`` above which
+  the high-power radio wins.
+* :func:`energy_low_multihop` / :func:`energy_high_multihop` — Eqs. 4–5:
+  the multi-hop case where one high-power transmission covers ``fp``
+  low-power hops ("forward progress").
+* :func:`breakeven_bits_multihop` — the corresponding ``s*``.
+
+Conventions: sizes in bits, energies in joules.  Equation 3 uses the smooth
+(non-packetized) per-bit costs, exactly as the paper does; the packetized
+forms (Eqs. 1–2 with their ceilings) are used for energy-vs-size curves, and
+:func:`crossover_bits` finds the empirical crossing of those packetized
+curves for comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.energy.radio_specs import RadioSpec
+
+#: Default application-level wake-up message payload (bytes).  The paper
+#: treats the wake-up cost as a given constant; a WAKEUP carries the burst
+#: size and addresses, comfortably fitting one small sensor packet.
+DEFAULT_WAKEUP_MESSAGE_BYTES = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class DualRadioLink:
+    """A (low-power, high-power) radio pair plus handshake parameters.
+
+    Attributes
+    ----------
+    low / high:
+        The sensor radio and the IEEE 802.11 radio of the platform.
+    idle_s:
+        Total idle time of the two high-power radios per bulk transfer
+        (``Eidle`` in Eq. 2 is ``p_idle × idle_s``); models imperfect
+        power management (Fig. 2 sweeps this).
+    wakeup_messages:
+        Number of low-power control messages in the wake-up handshake
+        (WAKEUP + WAKEUP-ACK by default).
+    wakeup_message_bytes:
+        Payload of each handshake message.
+    retransmissions:
+        The per-packet transmission count ``n_i`` of Eqs. 1–2 (the analysis
+        sets it to 1; Section 4 explores losses empirically).
+    """
+
+    low: RadioSpec
+    high: RadioSpec
+    idle_s: float = 0.0
+    wakeup_messages: int = 2
+    wakeup_message_bytes: int = DEFAULT_WAKEUP_MESSAGE_BYTES
+    retransmissions: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.low.kind != "low":
+            raise ValueError(f"{self.low.name} is not a low-power radio")
+        if self.high.kind != "high":
+            raise ValueError(f"{self.high.name} is not a high-power radio")
+        if self.idle_s < 0:
+            raise ValueError("idle_s must be non-negative")
+        if self.retransmissions < 1:
+            raise ValueError("retransmissions (n_i) must be >= 1")
+
+    # -- Eq. 2 cost components -------------------------------------------
+
+    @property
+    def e_wakeup_high_j(self) -> float:
+        """``E^H_wakeup``: switching both ends' high-power radios on."""
+        return 2.0 * self.high.e_wakeup_j
+
+    @property
+    def e_wakeup_low_j(self) -> float:
+        """``E^L_wakeup``: the low-power handshake carrying the wake-up."""
+        message_bits = (
+            self.wakeup_message_bytes * 8 + self.low.header_bits
+        )
+        per_message = self.low.link_power_w * message_bits / self.low.rate_bps
+        return self.wakeup_messages * per_message
+
+    @property
+    def e_idle_j(self) -> float:
+        """``E_idle``: idling energy of the two high-power radios."""
+        return self.high.p_idle_w * self.idle_s
+
+    @property
+    def fixed_overhead_j(self) -> float:
+        """Numerator of Eq. 3: all size-independent high-radio costs."""
+        return self.e_wakeup_high_j + self.e_wakeup_low_j + self.e_idle_j
+
+
+def energy_low(
+    s_bits: float,
+    low: RadioSpec,
+    retransmissions: float = 1.0,
+    e_overhear_j: float = 0.0,
+) -> float:
+    """Eq. 1 — energy to send/receive ``s_bits`` over the low-power radio.
+
+    The payload is split into ``ceil(s / ps_L)`` packets; a trailing partial
+    packet costs a full packet (header included), exactly as the ceiling in
+    Eq. 1 prescribes.
+    """
+    if s_bits < 0:
+        raise ValueError("data size must be non-negative")
+    if s_bits == 0:
+        return e_overhear_j
+    packets = math.ceil(s_bits / low.payload_bits)
+    on_air_bits = packets * low.packet_bits * retransmissions
+    return low.link_power_w * on_air_bits / low.rate_bps + e_overhear_j
+
+
+def energy_high(
+    s_bits: float,
+    link: DualRadioLink,
+    e_overhear_j: float = 0.0,
+) -> float:
+    """Eq. 2 — energy to transfer ``s_bits`` over the high-power radio.
+
+    Includes both high radios' wake-up energy, the low-power wake-up
+    handshake, idle time while awake, and the packetized transmission cost.
+    """
+    if s_bits < 0:
+        raise ValueError("data size must be non-negative")
+    high = link.high
+    packets = math.ceil(s_bits / high.payload_bits) if s_bits else 0
+    on_air_bits = packets * high.packet_bits * link.retransmissions
+    transfer = high.link_power_w * on_air_bits / high.rate_bps
+    return link.fixed_overhead_j + transfer + e_overhear_j
+
+
+def breakeven_bits(link: DualRadioLink) -> float:
+    """Eq. 3 — the break-even size ``s*`` in bits.
+
+    Returns ``float('inf')`` when the high-power radio's per-bit cost is not
+    lower than the low-power radio's, i.e. no amount of batching ever pays
+    off (the paper's Cabletron/Micaz and Lucent-2/Micaz single-hop cases).
+    """
+    slope_low = link.low.energy_per_payload_bit() * link.retransmissions
+    slope_high = link.high.energy_per_payload_bit() * link.retransmissions
+    denominator = slope_low - slope_high
+    if denominator <= 0:
+        return float("inf")
+    return link.fixed_overhead_j / denominator
+
+
+# --------------------------------------------------------------------------
+# Multi-hop case (Eqs. 4 and 5).
+# --------------------------------------------------------------------------
+
+
+def energy_low_multihop(
+    s_bits: float,
+    link: DualRadioLink,
+    forward_progress: int,
+    e_overhear_j: float = 0.0,
+) -> float:
+    """Eq. 4 — low-power cost over ``forward_progress`` hops: ``fp · E_L(s)``."""
+    if forward_progress < 1:
+        raise ValueError("forward progress must be at least one hop")
+    return forward_progress * energy_low(
+        s_bits, link.low, link.retransmissions, e_overhear_j
+    )
+
+
+def energy_high_multihop(
+    s_bits: float,
+    link: DualRadioLink,
+    forward_progress: int,
+    e_overhear_j: float = 0.0,
+) -> float:
+    """Eq. 5 — high-power cost with a multi-hop wake-up message.
+
+    The single high-power transmission covers the whole distance, but the
+    wake-up must still be relayed hop-by-hop over the low-power network:
+    ``E_H(s) + (fp − 1) · E^L_wakeup``.
+    """
+    if forward_progress < 1:
+        raise ValueError("forward progress must be at least one hop")
+    return (
+        energy_high(s_bits, link, e_overhear_j)
+        + (forward_progress - 1) * link.e_wakeup_low_j
+    )
+
+
+def breakeven_bits_multihop(link: DualRadioLink, forward_progress: int) -> float:
+    """``s*`` for the multi-hop case (Eqs. 3–5 combined).
+
+    Solves ``E_H(s) + (fp−1)·E^L_wakeup = fp · E_L(s)`` with the smooth
+    per-bit slopes of Eq. 3.
+    """
+    if forward_progress < 1:
+        raise ValueError("forward progress must be at least one hop")
+    slope_low = link.low.energy_per_payload_bit() * link.retransmissions
+    slope_high = link.high.energy_per_payload_bit() * link.retransmissions
+    denominator = forward_progress * slope_low - slope_high
+    if denominator <= 0:
+        return float("inf")
+    numerator = (
+        link.e_wakeup_high_j
+        + forward_progress * link.e_wakeup_low_j
+        + link.e_idle_j
+    )
+    return numerator / denominator
+
+
+# --------------------------------------------------------------------------
+# Empirical crossover of the packetized curves.
+# --------------------------------------------------------------------------
+
+
+def crossover_bits(
+    link: DualRadioLink,
+    forward_progress: int = 1,
+    max_bits: float = 8e9,
+) -> float:
+    """Smallest size (bits) at which the packetized high-radio curve wins.
+
+    Unlike :func:`breakeven_bits` this honours the packet ceilings of
+    Eqs. 1–2, so it is the quantity an experiment actually observes.  Uses
+    bisection over whole low-radio packets.  Returns ``float('inf')`` if no
+    crossover exists below ``max_bits``.
+    """
+
+    def advantage(bits: float) -> float:
+        return energy_low_multihop(bits, link, forward_progress) - (
+            energy_high_multihop(bits, link, forward_progress)
+        )
+
+    step = link.low.payload_bits
+    if advantage(max_bits) < 0:
+        return float("inf")
+    low_n, high_n = 1, int(max_bits // step) + 1
+    if advantage(low_n * step) >= 0:
+        return float(low_n * step)
+    while high_n - low_n > 1:
+        mid = (low_n + high_n) // 2
+        if advantage(mid * step) >= 0:
+            high_n = mid
+        else:
+            low_n = mid
+    return float(high_n * step)

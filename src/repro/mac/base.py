@@ -1,0 +1,226 @@
+"""The contention MAC engine shared by the sensor CSMA and 802.11 DCF MACs.
+
+Both MACs follow the same skeleton — carrier sense, random backoff,
+transmit, stop-and-wait ACK with binary exponential backoff on retry — and
+differ only in their timing constants (:mod:`repro.mac.timing`).  The engine
+runs one worker process per MAC which serializes the node's transmissions
+(radios are half-duplex), with MAC-level ACKs taking priority over queued
+data as SIFS < DIFS implies.
+
+Receiver-side duties: ACK generation for addressed data frames, duplicate
+suppression (retransmissions after a lost ACK), and upward delivery through
+a pluggable callback.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.mac.frames import Frame, FrameKind, make_ack
+from repro.mac.timing import MacParams
+from repro.radio.radio import RadioPort
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+#: How many recent sequence numbers to remember per peer for dedup.
+_DEDUP_WINDOW = 64
+
+
+class ContentionMac:
+    """Carrier-sense MAC with stop-and-wait ACKs.
+
+    Parameters
+    ----------
+    sim / radio / params:
+        Kernel, the radio port to drive, timing constants.
+    name:
+        RNG stream / trace label; defaults to ``mac.<node>.<radio>``.
+
+    Notes
+    -----
+    Use :meth:`send` to enqueue a frame; the returned event's value is
+    ``True`` on MAC-level success (ACK received, or frame sent for
+    broadcast / no-ACK frames) and ``False`` when the retry budget is
+    exhausted or the queue overflowed.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        radio: RadioPort,
+        params: MacParams,
+        name: str | None = None,
+    ):
+        self.sim = sim
+        self.radio = radio
+        self.params = params
+        self.name = name or f"mac.{radio.node_id}.{radio.spec.name}"
+        self._rng = sim.rng.stream(f"{self.name}.backoff")
+        radio.set_receiver(self._on_frame)
+        radio.preamble_s = params.preamble_s
+        self._queue: collections.deque[tuple[Frame, Event]] = collections.deque()
+        self._ack_queue: collections.deque[Frame] = collections.deque()
+        self._pending_ack: dict[tuple[int, int], Event] = {}
+        self._seen: dict[int, collections.OrderedDict] = {}
+        self._seq = 0
+        self._wakeup = sim.event()
+        self._ack_in_progress = False
+        self._on_data: typing.Callable[[Frame], None] | None = None
+        #: Statistics: drops by cause.
+        self.sent_ok = 0
+        self.sent_failed = 0
+        self.queue_drops = 0
+        self.retransmissions = 0
+        sim.process(self._worker(), name=self.name)
+
+    # -- upper-layer wiring -------------------------------------------------
+
+    def set_data_handler(self, callback: typing.Callable[[Frame], None]) -> None:
+        """Install the network layer's delivery callback."""
+        self._on_data = callback
+
+    def next_seq(self) -> int:
+        """Allocate the next MAC sequence number."""
+        self._seq += 1
+        return self._seq
+
+    @property
+    def queue_length(self) -> int:
+        """Number of frames waiting for transmission."""
+        return len(self._queue)
+
+    @property
+    def has_pending_ack(self) -> bool:
+        """Whether a MAC-level ACK is queued or on the air.
+
+        BCP consults this before sleeping the radio so that the final
+        frame of a burst still gets acknowledged.
+        """
+        return bool(self._ack_queue) or self._ack_in_progress
+
+    # -- send path ------------------------------------------------------------
+
+    def send(self, frame: Frame) -> Event:
+        """Enqueue ``frame``; the event resolves True/False on completion."""
+        done = self.sim.event()
+        if len(self._queue) >= self.params.queue_capacity:
+            self.queue_drops += 1
+            done.succeed(False)
+            return done
+        if frame.seq == 0:
+            frame.seq = self.next_seq()
+        self._queue.append((frame, done))
+        self._kick()
+        return done
+
+    def _kick(self) -> None:
+        if not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _worker(self) -> typing.Generator:
+        while True:
+            while not self._queue and not self._ack_queue:
+                yield self._wakeup
+                self._wakeup = self.sim.event()
+            if self._ack_queue:
+                ack = self._ack_queue.popleft()
+                yield from self._transmit_ack(ack)
+                continue
+            frame, done = self._queue.popleft()
+            success = yield from self._send_with_retries(frame)
+            if success:
+                self.sent_ok += 1
+            else:
+                self.sent_failed += 1
+            if not done.triggered:
+                done.succeed(success)
+
+    def _transmit_ack(self, ack: Frame) -> typing.Generator:
+        """SIFS, then send the ACK without contending for the channel."""
+        self._ack_in_progress = True
+        try:
+            yield self.sim.timeout(self.params.sifs_s)
+            if not self._radio_ready():
+                return
+            yield self.radio.transmit(ack)
+        finally:
+            self._ack_in_progress = False
+
+    def _send_with_retries(self, frame: Frame) -> typing.Generator:
+        needs_ack = frame.require_ack and not frame.is_broadcast
+        attempts = 1 + (self.params.max_retries if needs_ack else 0)
+        for attempt in range(attempts):
+            if attempt > 0:
+                self.retransmissions += 1
+            yield from self._contend(attempt)
+            if not self._radio_ready():
+                return False
+            yield self.radio.transmit(frame)
+            if not needs_ack:
+                return True
+            ack_event = self.sim.event()
+            key = (frame.dst, frame.seq)
+            self._pending_ack[key] = ack_event
+            timeout = self.sim.timeout(self._ack_wait_s())
+            outcome = yield ack_event | timeout
+            self._pending_ack.pop(key, None)
+            if ack_event in outcome:
+                return True
+        return False
+
+    def _contend(self, attempt: int) -> typing.Generator:
+        """DIFS + random backoff; on a busy sense, re-draw with a doubled
+        window (802.15.4's backoff-exponent increment)."""
+        params = self.params
+        busy_cap = params.busy_cap_slots or params.cw_max_slots
+        window = params.contention_window(attempt)
+        while True:
+            slots = self._rng.randrange(window)
+            yield self.sim.timeout(params.difs_s + slots * params.slot_s)
+            if not self.medium_busy():
+                return
+            window = min(window * 2, max(busy_cap, window))
+
+    def medium_busy(self) -> bool:
+        """Carrier-sense result at this node."""
+        return self.radio.medium.is_busy_for(self.radio.node_id)
+
+    def _ack_wait_s(self) -> float:
+        ack_airtime = (
+            self.params.preamble_s + self.params.ack_bits / self.radio.rate_bps
+        )
+        return self.params.sifs_s + ack_airtime + self.params.ack_timeout_margin_s
+
+    def _radio_ready(self) -> bool:
+        """Whether the radio can transmit right now (subclass hook)."""
+        return not self.radio.is_transmitting
+
+    # -- receive path ----------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        if frame.kind == FrameKind.ACK:
+            waiter = self._pending_ack.get((frame.src, frame.seq))
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(frame)
+            return
+        addressed = frame.dst == self.radio.node_id
+        if addressed and frame.require_ack:
+            self._ack_queue.append(make_ack(frame, self.params.ack_bits))
+            self._kick()
+        if addressed or frame.is_broadcast:
+            if self._is_duplicate(frame):
+                return
+            if self._on_data is not None:
+                self._on_data(frame)
+
+    def _is_duplicate(self, frame: Frame) -> bool:
+        seen = self._seen.setdefault(frame.src, collections.OrderedDict())
+        if frame.seq in seen:
+            return True
+        seen[frame.seq] = True
+        while len(seen) > _DEDUP_WINDOW:
+            seen.popitem(last=False)
+        return False

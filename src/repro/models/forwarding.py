@@ -1,0 +1,86 @@
+"""Hop-by-hop store-and-forward agent for the single-radio models.
+
+The paper's *Sensor* and *802.11* baselines forward each data packet
+immediately over their one radio along the routing tree.  The
+:class:`ForwardingAgent` is that network layer: it accepts locally generated
+packets, relays received ones, and delivers packets addressed to its node.
+(The dual-radio model replaces this agent with
+:class:`repro.core.BcpAgent`.)
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.mac.base import ContentionMac
+from repro.mac.frames import Frame, FrameKind
+from repro.net.packets import DataPacket
+from repro.net.routing import RoutingError, RoutingTable
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+
+class ForwardingAgent:
+    """Immediate per-packet forwarding over a single MAC.
+
+    Parameters
+    ----------
+    sim / node_id / mac / routing:
+        Kernel, owning node, the MAC to transmit with, next-hop table.
+    deliver:
+        Callback for packets whose final destination is this node.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        mac: ContentionMac,
+        routing: RoutingTable,
+        deliver: typing.Callable[[DataPacket], None],
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.mac = mac
+        self.routing = routing
+        self.deliver = deliver
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        self.packets_unroutable = 0
+        mac.set_data_handler(self._on_frame)
+
+    def submit(self, packet: DataPacket) -> None:
+        """Accept a packet (locally generated or received) for handling."""
+        if packet.dst == self.node_id:
+            self.deliver(packet)
+            return
+        try:
+            next_hop = self.routing.next_hop(self.node_id, packet.dst)
+        except RoutingError:
+            self.packets_unroutable += 1
+            return
+        frame = Frame(
+            kind=FrameKind.DATA,
+            src=self.node_id,
+            dst=next_hop,
+            payload_bits=packet.payload_bits,
+            header_bits=self.mac.radio.spec.header_bits,
+            payload=packet,
+            require_ack=True,
+        )
+        done = self.mac.send(frame)
+        done.callbacks.append(self._sent)
+
+    def _sent(self, event: typing.Any) -> None:
+        if event.value:
+            self.packets_forwarded += 1
+        else:
+            self.packets_dropped += 1
+
+    def _on_frame(self, frame: Frame) -> None:
+        packet = frame.payload
+        if not isinstance(packet, DataPacket):
+            return
+        packet.hops += 1
+        self.submit(packet)

@@ -1,0 +1,283 @@
+"""Sweep orchestration for the evaluation figures (Figs. 5–10).
+
+Each simulation figure is a view over the same experiment matrix:
+
+* the **SH sweep** (Figs. 5–7): Lucent 11 Mb/s + Micaz, same tree for both
+  radios, models {Sensor, 802.11, DualRadio-b for b in burst sizes} ×
+  sender counts;
+* the **MH sweep** (Figs. 8–10): Cabletron reaching the sink in one hop.
+
+A sweep returns raw per-run results (:class:`SweepCell`) so the different
+figures can apply their own metric/energy-accounting view: Fig. 6/9 plot
+the sensor runs under *two* accountings (ideal and header-overhearing) and
+the dual runs under the full dual accounting; Fig. 7/10 re-plot energy
+against delay.
+
+Scale note: the paper runs 5000 s × 20 seeds.  That is hours of CPU in
+pure Python, so callers choose the scale; the defaults here are laptop
+sized (the benchmark suite uses them) and `--paper` scale is available via
+the CLI.  Shapes are stable across this range because every mechanism
+(buffering delay, contention collapse, wake-up amortization) operates
+identically — only confidence intervals widen.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.models.scenario import (
+    MODEL_DUAL,
+    MODEL_SENSOR,
+    MODEL_WIFI,
+    ScenarioConfig,
+    multi_hop_config,
+    single_hop_config,
+)
+from repro.models.scenario import run_scenario
+from repro.stats.metrics import (
+    ENERGY_SENSOR_HEADER,
+    ENERGY_SENSOR_IDEAL,
+    ENERGY_TOTAL,
+    RunResult,
+)
+from repro.stats.summary import ReplicatedSummary, summarize_runs
+
+#: Label used for the pure models in the figures' legends.
+LABEL_SENSOR = "Sensor"
+LABEL_WIFI = "802.11"
+
+
+def dual_label(burst: int) -> str:
+    """Legend label for a dual-radio burst size (e.g. ``DualRadio-500``)."""
+    return f"DualRadio-{burst}"
+
+
+@dataclasses.dataclass
+class SweepCell:
+    """All replicated runs of one (model/burst, sender-count) cell."""
+
+    results: list[RunResult]
+
+    def summary(self, energy_key: str = ENERGY_TOTAL) -> ReplicatedSummary:
+        """Mean ± CI of the cell under the given energy accounting."""
+        return summarize_runs(self.results, energy_key=energy_key)
+
+
+@dataclasses.dataclass
+class SweepData:
+    """The experiment matrix: label → sender count → cell."""
+
+    case: str  # "SH" or "MH"
+    rate_bps: float
+    sim_time_s: float
+    n_runs: int
+    cells: dict[str, dict[int, SweepCell]]
+
+    def labels(self) -> list[str]:
+        """All series labels in insertion order."""
+        return list(self.cells)
+
+    def sender_counts(self) -> list[int]:
+        """Sorted sender counts present in the sweep."""
+        counts: set[int] = set()
+        for per_count in self.cells.values():
+            counts.update(per_count)
+        return sorted(counts)
+
+
+@dataclasses.dataclass
+class SweepScale:
+    """How big to run a sweep.
+
+    The defaults are the benchmark scale; :meth:`paper` is the full
+    Section 4.1 parameterization.
+    """
+
+    senders: tuple[int, ...] = (5, 20, 35)
+    bursts: tuple[int, ...] = (10, 100, 500, 1000, 2500)
+    n_runs: int = 2
+    sim_time_s: float = 150.0
+    seed: int = 1
+
+    @classmethod
+    def paper(cls) -> "SweepScale":
+        """The paper's scale: all sender counts, 5000 s, 20 runs."""
+        return cls(
+            senders=(5, 10, 15, 20, 25, 30, 35),
+            bursts=(10, 100, 500, 1000, 2500),
+            n_runs=20,
+            sim_time_s=5000.0,
+        )
+
+    @classmethod
+    def smoke(cls) -> "SweepScale":
+        """Minimal scale for CI smoke tests."""
+        return cls(senders=(5, 20), bursts=(10, 500), n_runs=1, sim_time_s=60.0)
+
+
+def _base_config(case: str, rate_bps: float | None) -> ScenarioConfig:
+    if case == "SH":
+        config = single_hop_config()
+        if rate_bps is not None:
+            config = config.replace(rate_bps=rate_bps)
+        return config
+    if case == "MH":
+        config = multi_hop_config()
+        if rate_bps is not None:
+            config = config.replace(rate_bps=rate_bps)
+        return config
+    raise ValueError(f"case must be 'SH' or 'MH', got {case!r}")
+
+
+def _replicate(config: ScenarioConfig, n_runs: int) -> SweepCell:
+    results = [
+        run_scenario(config.replace(seed=config.seed + offset))
+        for offset in range(n_runs)
+    ]
+    return SweepCell(results)
+
+
+def run_sweep(
+    case: str,
+    scale: SweepScale | None = None,
+    rate_bps: float | None = None,
+    include_wifi: bool = True,
+    include_sensor: bool = True,
+    progress: typing.Callable[[str], None] | None = None,
+) -> SweepData:
+    """Run the full experiment matrix for one case.
+
+    Parameters
+    ----------
+    case:
+        "SH" (Figs. 5–7) or "MH" (Figs. 8–10).
+    scale:
+        Sweep size (defaults to the benchmark scale).
+    rate_bps:
+        Per-sender rate override (the paper uses 2 kb/s for the
+        goodput/energy figures and 0.2 kb/s for the energy–delay figures).
+    include_wifi / include_sensor:
+        Skip the baselines when a figure does not need them.
+    progress:
+        Optional callback invoked with a human-readable line per cell.
+    """
+    scale = scale or SweepScale()
+    base = _base_config(case, rate_bps)
+    cells: dict[str, dict[int, SweepCell]] = {}
+
+    def note(label: str, n_senders: int) -> None:
+        if progress is not None:
+            progress(f"{case}: {label} senders={n_senders}")
+
+    for burst in scale.bursts:
+        label = dual_label(burst)
+        cells[label] = {}
+        for n_senders in scale.senders:
+            note(label, n_senders)
+            config = base.replace(
+                model=MODEL_DUAL,
+                burst_packets=burst,
+                n_senders=n_senders,
+                sim_time_s=scale.sim_time_s,
+                seed=scale.seed,
+            )
+            cells[label][n_senders] = _replicate(config, scale.n_runs)
+    if include_sensor:
+        cells[LABEL_SENSOR] = {}
+        for n_senders in scale.senders:
+            note(LABEL_SENSOR, n_senders)
+            config = base.replace(
+                model=MODEL_SENSOR,
+                n_senders=n_senders,
+                sim_time_s=scale.sim_time_s,
+                seed=scale.seed,
+            )
+            cells[LABEL_SENSOR][n_senders] = _replicate(config, scale.n_runs)
+    if include_wifi:
+        cells[LABEL_WIFI] = {}
+        for n_senders in scale.senders:
+            note(LABEL_WIFI, n_senders)
+            config = base.replace(
+                model=MODEL_WIFI,
+                n_senders=n_senders,
+                sim_time_s=scale.sim_time_s,
+                seed=scale.seed,
+            )
+            cells[LABEL_WIFI][n_senders] = _replicate(config, scale.n_runs)
+    return SweepData(
+        case=case,
+        rate_bps=base.rate_bps if rate_bps is None else rate_bps,
+        sim_time_s=scale.sim_time_s,
+        n_runs=scale.n_runs,
+        cells=cells,
+    )
+
+
+def goodput_rows(sweep: SweepData) -> dict[str, dict[int, float]]:
+    """Fig. 5 / Fig. 8 view: goodput per label per sender count."""
+    return {
+        label: {
+            n: cell.summary().goodput.mean for n, cell in per_count.items()
+        }
+        for label, per_count in sweep.cells.items()
+    }
+
+
+def energy_rows(sweep: SweepData) -> dict[str, dict[int, float]]:
+    """Fig. 6 / Fig. 9 view: normalized energy (J/Kbit).
+
+    The sensor runs appear twice — under the ideal and header-overhearing
+    accountings — exactly as the paper plots them; the 802.11 model is
+    omitted (the paper excludes it from energy comparisons).
+    """
+    rows: dict[str, dict[int, float]] = {}
+    for label, per_count in sweep.cells.items():
+        if label == LABEL_WIFI:
+            continue
+        if label == LABEL_SENSOR:
+            for variant, key in (
+                ("Sensor-ideal", ENERGY_SENSOR_IDEAL),
+                ("Sensor-header", ENERGY_SENSOR_HEADER),
+            ):
+                rows[variant] = {}
+                for n, cell in per_count.items():
+                    estimate = cell.summary(key).normalized_energy_j_per_kbit
+                    rows[variant][n] = (
+                        estimate.mean if estimate is not None else float("inf")
+                    )
+            continue
+        rows[label] = {}
+        for n, cell in per_count.items():
+            estimate = cell.summary().normalized_energy_j_per_kbit
+            rows[label][n] = (
+                estimate.mean if estimate is not None else float("inf")
+            )
+    return rows
+
+
+def energy_delay_points(
+    sweep: SweepData,
+) -> dict[int, list[tuple[int, float, float]]]:
+    """Fig. 7 / Fig. 10 view: (burst, delay s, energy J/Kbit) per sender count.
+
+    Each sender count is one line; each burst size is one point along it.
+    """
+    points: dict[int, list[tuple[int, float, float]]] = {}
+    for label, per_count in sweep.cells.items():
+        if not label.startswith("DualRadio-"):
+            continue
+        burst = int(label.split("-", 1)[1])
+        for n, cell in per_count.items():
+            summary = cell.summary()
+            energy = (
+                summary.normalized_energy_j_per_kbit.mean
+                if summary.normalized_energy_j_per_kbit is not None
+                else float("inf")
+            )
+            points.setdefault(n, []).append(
+                (burst, summary.mean_delay_s.mean, energy)
+            )
+    for n in points:
+        points[n].sort()
+    return points

@@ -1,0 +1,26 @@
+"""Network layer: packets, dual-radio addressing, routing, shortcuts."""
+
+from repro.net.addressing import (
+    HIGH_INTERFACE,
+    LOW_INTERFACE,
+    AddressMap,
+    format_eui48,
+    format_short_address,
+)
+from repro.net.packets import DataPacket
+from repro.net.routing import RoutingError, RoutingTable, build_routing, tree_depths
+from repro.net.shortcut import ShortcutLearner
+
+__all__ = [
+    "AddressMap",
+    "DataPacket",
+    "HIGH_INTERFACE",
+    "LOW_INTERFACE",
+    "RoutingError",
+    "RoutingTable",
+    "ShortcutLearner",
+    "build_routing",
+    "format_eui48",
+    "format_short_address",
+    "tree_depths",
+]

@@ -1,0 +1,139 @@
+"""Static shortest-path routing over a radio's connectivity graph.
+
+Section 4.1: "To decouple the routing effects on performance, two separate
+trees that go over sensor and IEEE 802.11 radios are built."  We generalize
+the collection tree to an all-pairs next-hop table (computed once from the
+connectivity graph with networkx BFS) because BCP's wake-up handshake also
+routes *away* from the sink: the WAKEUP travels sender → receiver and the
+WAKEUP-ACK travels back.
+
+Tie-breaking between equal-length paths is deterministic by default
+(lowest neighbor id).  On a perfectly regular grid that concentrates every
+flow onto one row — a worst-case "backbone" that no real deployment's
+collection tree exhibits — so the evaluation passes a seeded ``rng`` to
+spread equal-cost routes across branches while keeping runs reproducible.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import networkx
+
+from repro.topology.layout import Layout
+
+
+class RoutingError(Exception):
+    """Raised when no route exists for a requested (src, dst) pair."""
+
+
+class RoutingTable:
+    """All-pairs next-hop routing over one connectivity graph.
+
+    Parameters
+    ----------
+    graph:
+        Undirected connectivity graph (e.g. from :meth:`Layout.graph`).
+    rng:
+        Optional ``random.Random``-like stream; when given, ties between
+        equal-cost parents break uniformly at random (deterministically
+        for a seeded stream) instead of by lowest node id.
+
+    Notes
+    -----
+    Routes minimize hop count.  ``next_hop(u, v)`` is the neighbor of ``u``
+    on the chosen shortest path to ``v``.
+    """
+
+    def __init__(self, graph: "networkx.Graph", rng: typing.Any = None):
+        self.graph = graph
+        self._rng = rng
+        self._next_hop: dict[tuple[int, int], int] = {}
+        self._hops: dict[tuple[int, int], int] = {}
+        self._build()
+
+    def _neighbor_order(self, node: int) -> list[int]:
+        neighbors = sorted(self.graph.neighbors(node))
+        if self._rng is not None:
+            self._rng.shuffle(neighbors)
+        return neighbors
+
+    def _build(self) -> None:
+        # BFS from every destination; parent choice order decides how ties
+        # break (sorted = deterministic, shuffled = load-spreading).
+        for dst in sorted(self.graph.nodes):
+            parents = {dst: dst}
+            depth = {dst: 0}
+            frontier = [dst]
+            while frontier:
+                next_frontier: list[int] = []
+                for node in frontier:
+                    for neighbor in self._neighbor_order(node):
+                        if neighbor not in parents:
+                            parents[neighbor] = node
+                            depth[neighbor] = depth[node] + 1
+                            next_frontier.append(neighbor)
+                frontier = next_frontier
+            for node, parent in parents.items():
+                if node != dst:
+                    self._next_hop[(node, dst)] = parent
+                    self._hops[(node, dst)] = depth[node]
+
+    def has_route(self, src: int, dst: int) -> bool:
+        """Whether a path from ``src`` to ``dst`` exists."""
+        return src == dst or (src, dst) in self._next_hop
+
+    def next_hop(self, src: int, dst: int) -> int:
+        """The neighbor of ``src`` on the shortest path to ``dst``.
+
+        Raises
+        ------
+        RoutingError
+            If the graph has no path, or ``src == dst`` (nothing to route).
+        """
+        if src == dst:
+            raise RoutingError(f"node {src} routing to itself")
+        try:
+            return self._next_hop[(src, dst)]
+        except KeyError:
+            raise RoutingError(f"no route from {src} to {dst}") from None
+
+    def hops(self, src: int, dst: int) -> int:
+        """Path length in hops (0 for ``src == dst``)."""
+        if src == dst:
+            return 0
+        try:
+            return self._hops[(src, dst)]
+        except KeyError:
+            raise RoutingError(f"no route from {src} to {dst}") from None
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """The full node sequence ``src ... dst`` of the chosen route."""
+        if src == dst:
+            return [src]
+        path = [src]
+        node = src
+        while node != dst:
+            node = self.next_hop(node, dst)
+            path.append(node)
+            if len(path) > len(self._hops) + 2:  # pragma: no cover - safety
+                raise RoutingError(f"routing loop from {src} to {dst}")
+        return path
+
+
+def build_routing(
+    layout: Layout, range_m: float, rng: typing.Any = None
+) -> RoutingTable:
+    """Routing table for radios of ``range_m`` deployed as ``layout``."""
+    return RoutingTable(layout.graph(range_m), rng=rng)
+
+
+def tree_depths(table: RoutingTable, sink: int) -> dict[int, int]:
+    """Hop distance of every connected node to ``sink`` (collection tree)."""
+    depths = {}
+    for node in table.graph.nodes:
+        if node == sink:
+            depths[node] = 0
+        elif table.has_route(node, sink):
+            depths[node] = table.hops(node, sink)
+    return depths

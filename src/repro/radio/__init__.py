@@ -1,0 +1,19 @@
+"""Radio state machines and their energy accounting."""
+
+from repro.radio.radio import (
+    CATEGORY_OVERHEAR_BODY,
+    CATEGORY_OVERHEAR_HEADER,
+    HighPowerRadio,
+    LowPowerRadio,
+    RadioPort,
+)
+from repro.radio.states import RadioState
+
+__all__ = [
+    "CATEGORY_OVERHEAR_BODY",
+    "CATEGORY_OVERHEAR_HEADER",
+    "HighPowerRadio",
+    "LowPowerRadio",
+    "RadioPort",
+    "RadioState",
+]

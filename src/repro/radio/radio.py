@@ -1,0 +1,330 @@
+"""Radio ports: the per-node attachment points to a shared medium.
+
+Two concrete radios mirror the paper's platform:
+
+* :class:`LowPowerRadio` — the sensor radio (Mica/Mica2/Micaz class).  It is
+  always on.  Following Section 2.1, its idle/power-management draw is a
+  *base cost* excluded from the accounting; it charges event-based energy:
+  full transmit and receive power for the frames it sends/receives, and
+  split header/body overhearing charges so the evaluation can reproduce both
+  the "Sensor-ideal" and "Sensor-header" baselines.
+
+* :class:`HighPowerRadio` — the IEEE 802.11 radio.  It is off by default and
+  *fully* charged when awake: a wake-up energy lump, integrated idle power
+  for every awake second, transmit power while sending, and incremental
+  receive power (``Prx − Pidle``) for frames it hears, whether addressed to
+  it or not.
+
+The energy-model asymmetry is deliberate and mirrors the paper's Section 4:
+"the sensor model is shown in the best possible light, while the dual-radio
+model pays for the cost of the IEEE 802.11 radios fully."
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.energy.meter import (
+    CATEGORY_IDLE,
+    CATEGORY_RX,
+    CATEGORY_TX,
+    CATEGORY_WAKEUP,
+    EnergyMeter,
+    PowerIntegrator,
+)
+from repro.energy.radio_specs import RadioSpec
+from repro.mac.frames import Frame
+from repro.radio.states import RadioState
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.channel.medium import Medium
+    from repro.sim.simulator import Simulator
+
+#: Category for the header portion of overheard frames (charged by the
+#: paper's "Sensor-header" baseline).
+CATEGORY_OVERHEAR_HEADER = "overhear_header"
+
+#: Category for the rest of an overheard frame (charged only by fully
+#: truthful accountings).
+CATEGORY_OVERHEAR_BODY = "overhear_body"
+
+
+class RadioPort:
+    """Base class wiring a radio to a medium, a meter and a MAC.
+
+    Parameters
+    ----------
+    sim / node_id / spec / medium / meter:
+        Kernel, owning node, energy characteristics, channel, accounting.
+    component:
+        Meter component label; defaults to ``"radio.<spec name>"``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        spec: RadioSpec,
+        medium: "Medium",
+        meter: EnergyMeter,
+        component: str | None = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.spec = spec
+        self.medium = medium
+        self.meter = meter
+        self.component = component or f"radio.{spec.name}"
+        #: Extra fixed on-air time per frame (e.g. the 802.11b PLCP
+        #: preamble); MAC presets may set this.
+        self.preamble_s = 0.0
+        #: When set, decodable frames addressed to other nodes are also
+        #: handed to :meth:`deliver_overheard` (used by BCP's shortcut
+        #: learning, which listens for its own packets being forwarded).
+        self.promiscuous = False
+        self._receiver: typing.Callable[[Frame], None] | None = None
+        self._overhear_handler: typing.Callable[[Frame], None] | None = None
+        self._transmitting = False
+        self.frames_tx = 0
+        self.frames_rx = 0
+        medium.register(self)
+
+    # -- identity shortcuts used by the medium ---------------------------
+
+    @property
+    def range_m(self) -> float:
+        """Nominal transmit range in meters."""
+        return self.spec.range_m
+
+    @property
+    def rate_bps(self) -> float:
+        """Bit rate used to compute frame airtime."""
+        return self.spec.rate_bps
+
+    @property
+    def is_transmitting(self) -> bool:
+        """Whether a transmission of ours is currently on the air."""
+        return self._transmitting
+
+    @property
+    def is_listening(self) -> bool:
+        """Whether the radio could currently decode an incoming frame."""
+        raise NotImplementedError
+
+    # -- MAC wiring -------------------------------------------------------
+
+    def set_receiver(self, callback: typing.Callable[[Frame], None]) -> None:
+        """Install the MAC's frame-delivery callback."""
+        self._receiver = callback
+
+    def set_overhear_handler(
+        self, callback: typing.Callable[[Frame], None]
+    ) -> None:
+        """Install the promiscuous-mode callback and enable the mode."""
+        self._overhear_handler = callback
+        self.promiscuous = True
+
+    def deliver(self, frame: Frame) -> None:
+        """Called by the medium when a frame decodes successfully here."""
+        self.frames_rx += 1
+        if self._receiver is not None:
+            self._receiver(frame)
+
+    def deliver_overheard(self, frame: Frame) -> None:
+        """Called by the medium for decodable frames addressed elsewhere."""
+        if self._overhear_handler is not None:
+            self._overhear_handler(frame)
+
+    # -- transmission ------------------------------------------------------
+
+    def airtime(self, frame: Frame) -> float:
+        """On-air duration for ``frame`` including any preamble."""
+        return self.preamble_s + frame.total_bits / self.rate_bps
+
+    def transmit(self, frame: Frame) -> Event:
+        """Put ``frame`` on the air; the returned event fires at end-of-frame.
+
+        Raises
+        ------
+        SimulationError
+            If a transmission is already in progress (MACs serialize).
+        """
+        if self._transmitting:
+            raise SimulationError(
+                f"node {self.node_id} {self.component}: transmit while busy"
+            )
+        self._check_can_transmit()
+        self._transmitting = True
+        self.frames_tx += 1
+        duration = self.airtime(frame)
+        self._begin_tx_accounting(duration)
+        end_event = self.medium.transmit(self, frame)
+        end_event.callbacks.append(lambda _event: self._end_transmit(duration))
+        return end_event
+
+    def _end_transmit(self, duration: float) -> None:
+        self._transmitting = False
+        self._end_tx_accounting(duration)
+
+    # -- hooks for subclasses ----------------------------------------------
+
+    def _check_can_transmit(self) -> None:
+        """Raise if the radio is in a state that cannot transmit."""
+
+    def _begin_tx_accounting(self, duration: float) -> None:
+        raise NotImplementedError
+
+    def _end_tx_accounting(self, duration: float) -> None:
+        raise NotImplementedError
+
+    def charge_reception(
+        self, frame: Frame, duration: float, addressed: bool
+    ) -> None:
+        """Charge energy for hearing ``frame`` (called by the medium)."""
+        raise NotImplementedError
+
+
+class LowPowerRadio(RadioPort):
+    """The always-on sensor radio (event-based energy accounting)."""
+
+    @property
+    def is_listening(self) -> bool:
+        return not self._transmitting
+
+    def _begin_tx_accounting(self, duration: float) -> None:
+        # Charged up front; the amount is fixed once the frame is committed.
+        self.meter.charge(
+            self.spec.p_tx_w * duration, self.component, CATEGORY_TX
+        )
+
+    def _end_tx_accounting(self, duration: float) -> None:
+        return None
+
+    def charge_reception(
+        self, frame: Frame, duration: float, addressed: bool
+    ) -> None:
+        if addressed:
+            self.meter.charge(
+                self.spec.p_rx_w * duration, self.component, CATEGORY_RX
+            )
+            return
+        header_s = min(duration, frame.header_bits / self.rate_bps)
+        self.meter.charge(
+            self.spec.p_rx_w * header_s, self.component, CATEGORY_OVERHEAR_HEADER
+        )
+        self.meter.charge(
+            self.spec.p_rx_w * (duration - header_s),
+            self.component,
+            CATEGORY_OVERHEAR_BODY,
+        )
+
+
+class HighPowerRadio(RadioPort):
+    """The off-by-default IEEE 802.11 radio (full state accounting)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        spec: RadioSpec,
+        medium: "Medium",
+        meter: EnergyMeter,
+        component: str | None = None,
+    ):
+        super().__init__(sim, node_id, spec, medium, meter, component)
+        self.state = RadioState.OFF
+        self._integrator = PowerIntegrator(sim, meter, self.component)
+        self._wake_waiters: list[Event] = []
+        self.wakeup_count = 0
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def is_on(self) -> bool:
+        """Whether the radio is awake (idle or transmitting)."""
+        return self.state in (RadioState.IDLE, RadioState.TX)
+
+    @property
+    def is_listening(self) -> bool:
+        return self.state == RadioState.IDLE
+
+    def wake(self) -> Event:
+        """Turn the radio on; the event fires when it reaches IDLE.
+
+        Waking costs ``e_wakeup_j`` and takes ``t_wakeup_s`` (Table 1 /
+        derived).  Concurrent wake requests share one transition.
+        """
+        done = Event(self.sim)
+        if self.is_on:
+            done.succeed()
+            return done
+        self._wake_waiters.append(done)
+        if self.state == RadioState.WAKING:
+            return done
+        self.state = RadioState.WAKING
+        self.wakeup_count += 1
+        self.meter.charge(self.spec.e_wakeup_j, self.component, CATEGORY_WAKEUP)
+        self.sim.call_later(self.spec.t_wakeup_s, self._finish_wake)
+        return done
+
+    def _finish_wake(self) -> None:
+        if self.state != RadioState.WAKING:
+            return  # sleep() raced the wake; waiters were already failed
+        self.state = RadioState.IDLE
+        self._integrator.set_power(self.spec.p_idle_w, CATEGORY_IDLE)
+        waiters, self._wake_waiters = self._wake_waiters, []
+        for waiter in waiters:
+            waiter.succeed()
+
+    def sleep(self) -> None:
+        """Turn the radio off immediately (switch-off cost is negligible).
+
+        Raises
+        ------
+        SimulationError
+            If called mid-transmission; callers must wait for frame end.
+        """
+        if self._transmitting:
+            raise SimulationError(
+                f"node {self.node_id}: cannot sleep while transmitting"
+            )
+        if self.state == RadioState.OFF:
+            return
+        waiters, self._wake_waiters = self._wake_waiters, []
+        self.state = RadioState.OFF
+        self._integrator.set_power(0.0, CATEGORY_IDLE)
+        for waiter in waiters:
+            waiter.fail(SimulationError("radio was turned off while waking"))
+
+    def flush_accounting(self) -> None:
+        """Close the open integration segment (call at end of run)."""
+        self._integrator.flush()
+
+    # -- energy hooks --------------------------------------------------------
+
+    def _check_can_transmit(self) -> None:
+        if not self.is_on:
+            raise SimulationError(
+                f"node {self.node_id}: high-power radio is {self.state}, "
+                "cannot transmit"
+            )
+
+    def _begin_tx_accounting(self, duration: float) -> None:
+        self.state = RadioState.TX
+        self._integrator.set_power(self.spec.p_tx_w, CATEGORY_TX)
+
+    def _end_tx_accounting(self, duration: float) -> None:
+        # sleep() is forbidden mid-transmission, so we are still awake here.
+        self.state = RadioState.IDLE
+        self._integrator.set_power(self.spec.p_idle_w, CATEGORY_IDLE)
+
+    def charge_reception(
+        self, frame: Frame, duration: float, addressed: bool
+    ) -> None:
+        # The idle baseline is already integrated; receptions cost the
+        # increment above idle.
+        increment = max(0.0, self.spec.p_rx_w - self.spec.p_idle_w) * duration
+        category = CATEGORY_RX if addressed else "overhear"
+        self.meter.charge(increment, self.component, category)

@@ -1,0 +1,23 @@
+"""Radio operating states."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RadioState(enum.Enum):
+    """Operating state of a radio.
+
+    Low-power radios only ever alternate between ``IDLE`` and ``TX`` (they
+    are the always-on control plane; the paper treats their idle draw as a
+    base cost).  High-power radios use the full cycle
+    ``OFF → WAKING → IDLE ↔ TX → OFF``.
+    """
+
+    OFF = "off"
+    WAKING = "waking"
+    IDLE = "idle"
+    TX = "tx"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

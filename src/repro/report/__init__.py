@@ -1,0 +1,14 @@
+"""Rendering of tables/series and the per-figure regeneration registry."""
+
+from repro.report.figures import REGISTRY
+from repro.report.series import render_series, series_to_csv
+from repro.report.tables import format_value, render_matrix, render_table
+
+__all__ = [
+    "REGISTRY",
+    "format_value",
+    "render_matrix",
+    "render_series",
+    "render_table",
+    "series_to_csv",
+]

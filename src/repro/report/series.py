@@ -1,0 +1,49 @@
+"""Gnuplot-style data-block rendering and CSV export for figure series."""
+
+from __future__ import annotations
+
+import io
+import typing
+
+from repro.analysis.feasibility import Series
+
+
+def render_series(
+    series_list: typing.Sequence[Series],
+    x_label: str,
+    y_label: str,
+    title: str | None = None,
+    max_points: int | None = None,
+) -> str:
+    """Render series as labelled two-column blocks (gnuplot ``index`` style).
+
+    ``max_points`` thins dense sweeps for readability (first/last always
+    kept).
+    """
+    out = []
+    if title:
+        out.append(f"# {title}")
+    out.append(f"# x: {x_label}   y: {y_label}")
+    for series in series_list:
+        out.append("")
+        out.append(f'# series "{series.label}"')
+        points = list(zip(series.x, series.y))
+        if max_points is not None and len(points) > max_points:
+            stride = max(1, len(points) // max_points)
+            thinned = points[::stride]
+            if thinned[-1] != points[-1]:
+                thinned.append(points[-1])
+            points = thinned
+        for x, y in points:
+            out.append(f"{x:.6g}\t{y:.6g}")
+    return "\n".join(out)
+
+
+def series_to_csv(series_list: typing.Sequence[Series]) -> str:
+    """Long-format CSV (``label,x,y``) for external plotting tools."""
+    buffer = io.StringIO()
+    buffer.write("label,x,y\n")
+    for series in series_list:
+        for x, y in zip(series.x, series.y):
+            buffer.write(f"{series.label},{x:.10g},{y:.10g}\n")
+    return buffer.getvalue()

@@ -1,0 +1,72 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+import typing
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Human-friendly cell formatting (numbers trimmed, inf spelled out)."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 10 ** (precision + 2) or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Raises
+    ------
+    ValueError
+        If any row's width differs from the header's.
+    """
+    string_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        string_rows.append([format_value(cell) for cell in row])
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: typing.Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * width for width in widths]))
+    for row in string_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_matrix(
+    matrix: typing.Mapping[str, typing.Mapping[int, float]],
+    x_label: str,
+    title: str | None = None,
+) -> str:
+    """Render a label × x-value grid (the shape of Figs. 5, 6, 8, 9)."""
+    xs: list[int] = sorted({x for row in matrix.values() for x in row})
+    headers = [x_label] + [str(x) for x in xs]
+    rows = []
+    for label, row in matrix.items():
+        rows.append([label] + [row.get(x, float("nan")) for x in xs])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,218 @@
+"""Event primitives for the discrete-event kernel.
+
+The design follows the classic "event with callbacks" model (the same one
+SimPy uses): an :class:`Event` starts *pending*; calling :meth:`Event.succeed`
+or :meth:`Event.fail` *triggers* it, which schedules it on the simulator's
+agenda; when the simulator pops it, the event becomes *processed* and its
+callbacks run, resuming any process that was waiting on it.
+
+Composite conditions (:class:`AnyOf`, :class:`AllOf`) let a process wait for
+the first of, or all of, several events.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.errors import EventAlreadyTriggered, SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+#: Sentinel stored in ``Event._value`` while the event has not triggered.
+PENDING = object()
+
+#: Scheduling priority for events that must run before ordinary ones at the
+#: same timestamp (used by the kernel when resuming interrupted processes).
+URGENT = 0
+
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`~repro.sim.simulator.Simulator` that owns this event.
+
+    Notes
+    -----
+    An event moves through three states: *pending* → *triggered* (it has a
+    value and sits in the agenda) → *processed* (callbacks have run).  Both
+    transitions are one-way; re-triggering raises
+    :class:`~repro.sim.errors.EventAlreadyTriggered`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables ``fn(event)`` invoked when the event is processed.
+        self.callbacks: list[typing.Callable[["Event"], None]] | None = []
+        self._value: object = PENDING
+        self._ok: bool = True
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value and is (or was) on the agenda."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (meaningless until triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value`` and schedule it."""
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiting processes see ``exception``.
+
+        The exception is re-raised inside every process waiting on this
+        event.  If nothing waits on a failed event by the time it is
+        processed, the simulator raises it to the caller of ``run`` (errors
+        must never pass silently); call :meth:`defuse` to opt out.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise it."""
+        self._defused = True
+
+    # -- composition -----------------------------------------------------
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            "processed"
+            if self._processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` seconds in the future.
+
+    Unlike a plain :class:`Event`, a timeout is scheduled on construction and
+    cannot be triggered manually.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay=delay, priority=NORMAL)
+
+    def succeed(self, value: object = None) -> "Event":
+        raise EventAlreadyTriggered("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":
+        raise EventAlreadyTriggered("Timeout events trigger themselves")
+
+
+class Condition(Event):
+    """Base class for composite events over a list of child events.
+
+    The condition's value is an ordered ``dict`` mapping each *processed*
+    child event to its value, so ``AnyOf`` results expose which child fired.
+    A failing child fails the whole condition immediately.
+    """
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: typing.Sequence[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._count = 0
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        if not self.events:
+            # An empty condition is trivially satisfied.
+            self.succeed(dict())
+            return
+        for event in self.events:
+            if event.processed:
+                self._child_done(event)
+            else:
+                event.callbacks.append(self._child_done)
+
+    def _evaluate(self, processed_count: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _child_done(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(typing.cast(BaseException, event.value))
+            return
+        self._count += 1
+        if self._evaluate(self._count, len(self.events)):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {event: event.value for event in self.events if event.processed}
+
+
+class AnyOf(Condition):
+    """Triggers as soon as *any* child event has been processed."""
+
+    __slots__ = ()
+
+    def _evaluate(self, processed_count: int, total: int) -> bool:
+        return processed_count >= 1
+
+
+class AllOf(Condition):
+    """Triggers once *all* child events have been processed."""
+
+    __slots__ = ()
+
+    def _evaluate(self, processed_count: int, total: int) -> bool:
+        return processed_count == total

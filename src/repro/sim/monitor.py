@@ -1,0 +1,104 @@
+"""Measurement probes: time-stamped series and counters.
+
+Model code records observations into :class:`Probe` objects; the statistics
+layer (:mod:`repro.stats`) consumes them after the run.  Probes are cheap
+(list appends) and make no assumptions about what is being measured.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+
+class Probe:
+    """A time-stamped sequence of scalar observations.
+
+    Parameters
+    ----------
+    sim:
+        Simulator whose clock stamps each observation.
+    name:
+        Label used in summaries and error messages.
+    """
+
+    def __init__(self, sim: "Simulator", name: str):
+        self.sim = sim
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Append ``value`` stamped with the current simulation time."""
+        self.times.append(self.sim.now)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded values."""
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded values (0.0 if empty)."""
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def last(self) -> float | None:
+        """Most recent value, or ``None`` if nothing was recorded."""
+        return self.values[-1] if self.values else None
+
+    def series(self) -> list[tuple[float, float]]:
+        """Return ``[(time, value), ...]`` pairs in recording order."""
+        return list(zip(self.times, self.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Probe {self.name!r} n={len(self)} mean={self.mean:.4g}>"
+
+
+class Counter:
+    """A named monotonically updated tally (no timestamps).
+
+    Used for packet counts, retransmissions, drops — places where only the
+    final total matters and per-event timestamps would waste memory.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the tally by ``amount``."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Counter {self.name!r} value={self.value:g}>"
+
+
+class ProbeSet:
+    """Lazily-created collection of probes and counters for one component."""
+
+    def __init__(self, sim: "Simulator", prefix: str = ""):
+        self.sim = sim
+        self.prefix = prefix
+        self.probes: dict[str, Probe] = {}
+        self.counters: dict[str, Counter] = {}
+
+    def probe(self, name: str) -> Probe:
+        """Return (creating if needed) the probe called ``name``."""
+        full = f"{self.prefix}{name}"
+        if full not in self.probes:
+            self.probes[full] = Probe(self.sim, full)
+        return self.probes[full]
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        full = f"{self.prefix}{name}"
+        if full not in self.counters:
+            self.counters[full] = Counter(full)
+        return self.counters[full]

@@ -1,0 +1,154 @@
+"""Generator-based simulation processes.
+
+A *process* wraps a Python generator that models an active entity (a radio,
+a MAC attempt, a traffic source...).  The generator advances by ``yield``-ing
+events; it is resumed when the yielded event is processed, receiving the
+event's value at the ``yield`` expression (or having the event's exception
+raised there if the event failed).
+
+A :class:`Process` is itself an :class:`~repro.sim.events.Event`: it triggers
+when the generator returns (value = the generator's return value) or raises.
+That lets processes wait for each other and be combined with ``|`` / ``&``.
+"""
+
+from __future__ import annotations
+
+import types
+import typing
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import NORMAL, PENDING, URGENT, Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+
+class Process(Event):
+    """Drives a generator through the event loop.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    generator:
+        A generator yielding :class:`~repro.sim.events.Event` instances.
+    name:
+        Optional label shown in ``repr`` and error messages.
+    """
+
+    __slots__ = ("generator", "name", "_target", "_start_event")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: types.GeneratorType,
+        name: str | None = None,
+    ):
+        if not isinstance(generator, types.GeneratorType):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or generator.__name__
+        #: The event this process is currently waiting on (None if runnable).
+        self._target: Event | None = None
+        # Kick the generator off at the current simulation time via an
+        # initialization event so process creation composes with the agenda.
+        start = Event(sim)
+        start.callbacks.append(self._resume)
+        start._ok = True
+        start._value = None
+        sim._enqueue(start, delay=0.0, priority=URGENT)
+        self._start_event = start
+        self._target = start
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has neither returned nor raised yet."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event the process is waiting on (``None`` while runnable)."""
+        return self._target
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`~repro.sim.errors.Interrupt` into the generator.
+
+        The interrupt is delivered immediately (at the current simulation
+        time, before any queued event) so that state observed by the
+        interrupter cannot change in between.  Interrupting a dead process
+        raises :class:`SimulationError`.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is self._start_event:
+            raise SimulationError(f"{self!r} has not started yet")
+        # Stop listening to whatever we were waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.sim._enqueue(interrupt_event, delay=0.0, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome; wire up the next wait."""
+        self.sim._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self.generator.send(event._value)
+                    else:
+                        event._defused = True
+                        target = self.generator.throw(
+                            typing.cast(BaseException, event._value)
+                        )
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self._target = None
+                    self.fail(exc)
+                    return
+
+                if not isinstance(target, Event):
+                    message = (
+                        f"process {self.name!r} yielded {target!r}; "
+                        "processes may only yield Event instances"
+                    )
+                    self._target = None
+                    self.fail(SimulationError(message))
+                    return
+                if target.sim is not self.sim:
+                    self._target = None
+                    self.fail(
+                        SimulationError(
+                            f"process {self.name!r} yielded an event owned by "
+                            "a different simulator"
+                        )
+                    )
+                    return
+                if target.processed:
+                    # Already-processed events resume the generator at once.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+        finally:
+            self.sim._active_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {status} at {id(self):#x}>"

@@ -1,0 +1,93 @@
+"""Blocking queues for producer/consumer coordination between processes.
+
+:class:`Store` is a FIFO buffer with optional capacity: ``put`` blocks (as an
+event) while full, ``get`` blocks while empty.  BCP's data buffers build on
+plain deques for speed, but Store is the general-purpose substrate used by
+traffic sinks and the testbed harness, and it exercises the kernel's event
+machinery heavily in tests.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; succeeds once the item is stored."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, sim: "Simulator", item: object):
+        super().__init__(sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; its value is the retrieved item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """FIFO item buffer with blocking put/get semantics.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Maximum number of buffered items; ``float('inf')`` (default) for an
+        unbounded store.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: collections.deque = collections.deque()
+        self._puts: collections.deque[StorePut] = collections.deque()
+        self._gets: collections.deque[StoreGet] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the store holds ``capacity`` items."""
+        return len(self.items) >= self.capacity
+
+    def put(self, item: object) -> StorePut:
+        """Request insertion of ``item``; the returned event fires when stored."""
+        event = StorePut(self.sim, item)
+        self._puts.append(event)
+        self._settle()
+        return event
+
+    def get(self) -> StoreGet:
+        """Request removal of the oldest item; the event's value is the item."""
+        event = StoreGet(self.sim)
+        self._gets.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        """Match queued puts and gets against current occupancy."""
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._puts and len(self.items) < self.capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            while self._gets and self.items:
+                get = self._gets.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,195 @@
+"""The discrete-event simulator: clock, agenda and run loop.
+
+:class:`Simulator` keeps a binary-heap agenda of triggered events keyed by
+``(time, priority, sequence)``; the sequence number makes the ordering total
+and deterministic (ties at the same time and priority process in insertion
+order).  All model code — radios, MACs, BCP — runs inside event callbacks or
+generator processes driven by this loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import types
+import typing
+
+from repro.sim.errors import SimulationError, StopSimulation
+from repro.sim.events import NORMAL, AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+#: Type of the heap entries: (time, priority, sequence, event).
+_QueueItem = tuple[float, int, int, Event]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulator's random-stream registry
+        (:attr:`rng`).  Two simulators built with the same seed and the same
+        model produce identical traces.
+
+    Examples
+    --------
+    >>> sim = Simulator(seed=1)
+    >>> def hello():
+    ...     yield sim.timeout(2.5)
+    ...     return "done at %.1f" % sim.now
+    >>> proc = sim.process(hello())
+    >>> sim.run()
+    >>> proc.value
+    'done at 2.5'
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._queue: list[_QueueItem] = []
+        self._sequence = 0
+        self._active_process: Process | None = None
+        #: Named deterministic random streams (see :class:`RngRegistry`).
+        self.rng = RngRegistry(seed)
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any (for re-entrancy checks)."""
+        return self._active_process
+
+    # -- event construction ----------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event` owned by this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: types.GeneratorType, name: str | None = None
+    ) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Condition event triggering when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Condition event triggering when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def call_at(
+        self, when: float, fn: typing.Callable[..., None], *args: object
+    ) -> Event:
+        """Schedule plain callable ``fn(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} (now is {self._now}); time is monotonic"
+            )
+        return self.call_later(when - self._now, fn, *args)
+
+    def call_later(
+        self, delay: float, fn: typing.Callable[..., None], *args: object
+    ) -> Event:
+        """Schedule plain callable ``fn(*args)`` after ``delay`` seconds.
+
+        Returns the underlying event so callers can compose or inspect it.
+        """
+        event = Timeout(self, delay)
+        event.callbacks.append(lambda _event: fn(*args))
+        return event
+
+    # -- agenda ----------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        """Insert a triggered event into the agenda (kernel internal)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, priority, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty agenda")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it instead of dropping it.
+            raise typing.cast(BaseException, event._value)
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the agenda is empty.
+            * a number — run all events with ``time <= until``, then set the
+              clock to ``until``.
+            * an :class:`Event` — run until that event is processed and
+              return its value (raising if it failed).
+        """
+        if isinstance(until, Event):
+            stop_marker: list[object] = []
+            if until.callbacks is None:
+                # Already processed.
+                if not until._ok:
+                    raise typing.cast(BaseException, until._value)
+                return until._value
+            until.callbacks.append(lambda event: stop_marker.append(event))
+            try:
+                while self._queue and not stop_marker:
+                    self.step()
+            except StopSimulation:
+                pass
+            if not stop_marker:
+                raise SimulationError(
+                    "run(until=event) exhausted the agenda before the event fired"
+                )
+            if not until._ok:
+                until._defused = True
+                raise typing.cast(BaseException, until.value)
+            return until.value
+
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"cannot run until {horizon} (now is {self._now})"
+                )
+            try:
+                while self._queue and self._queue[0][0] <= horizon:
+                    self.step()
+            except StopSimulation:
+                return None
+            self._now = max(self._now, horizon)
+            return None
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation:
+            pass
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Simulator t={self._now:.6f} agenda={len(self._queue)}>"

@@ -1,0 +1,62 @@
+"""Sink-side measurement: delivery counts, delays, duplicate detection."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.net.packets import DataPacket
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+
+class SinkCollector:
+    """Records every packet delivered at the sink.
+
+    The collector is the models' ``deliver`` callback.  It tracks the
+    goodput numerator (payload bits, duplicates excluded), per-packet
+    end-to-end delay (generation → sink, buffering included — the paper's
+    delay metric) and per-source tallies.
+    """
+
+    def __init__(self, sim: "Simulator", sink_id: int):
+        self.sim = sim
+        self.sink_id = sink_id
+        self.packets_delivered = 0
+        self.bits_delivered = 0
+        self.duplicates = 0
+        self.delays_s: list[float] = []
+        self.hops: list[int] = []
+        self.per_source: dict[int, int] = {}
+        self._seen_ids: set[int] = set()
+
+    def deliver(self, packet: DataPacket) -> None:
+        """Accept ``packet`` at the sink."""
+        if packet.dst != self.sink_id:
+            raise ValueError(
+                f"sink {self.sink_id} received a packet addressed to {packet.dst}"
+            )
+        if packet.packet_id in self._seen_ids:
+            self.duplicates += 1
+            return
+        self._seen_ids.add(packet.packet_id)
+        self.packets_delivered += 1
+        self.bits_delivered += packet.payload_bits
+        self.delays_s.append(self.sim.now - packet.created_s)
+        self.hops.append(packet.hops)
+        self.per_source[packet.src] = self.per_source.get(packet.src, 0) + 1
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Average end-to-end delay over delivered packets (0 if none)."""
+        return sum(self.delays_s) / len(self.delays_s) if self.delays_s else 0.0
+
+    @property
+    def max_delay_s(self) -> float:
+        """Worst-case delivered-packet delay (0 if none)."""
+        return max(self.delays_s) if self.delays_s else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        """Average forwarding hops of delivered packets (0 if none)."""
+        return sum(self.hops) / len(self.hops) if self.hops else 0.0

@@ -1,0 +1,79 @@
+"""Aggregation of replicated runs into mean ± CI summaries."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.stats.confidence import Estimate, mean_confidence
+from repro.stats.metrics import ENERGY_TOTAL, RunResult
+
+
+@dataclasses.dataclass
+class ReplicatedSummary:
+    """Mean ± 95% CI of the paper's metrics over repeated runs.
+
+    Attributes
+    ----------
+    goodput / normalized_energy_j_per_kbit / mean_delay_s:
+        Estimates across replicas.  Replicas that delivered nothing are
+        excluded from the energy estimate (their normalized energy is
+        infinite) and counted in ``undelivered_runs``.
+    """
+
+    goodput: Estimate
+    normalized_energy_j_per_kbit: Estimate | None
+    mean_delay_s: Estimate
+    n_runs: int
+    undelivered_runs: int
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "goodput": self.goodput.mean,
+            "goodput_ci": self.goodput.half_width,
+            "energy_j_per_kbit": (
+                self.normalized_energy_j_per_kbit.mean
+                if self.normalized_energy_j_per_kbit is not None
+                else float("inf")
+            ),
+            "energy_ci": (
+                self.normalized_energy_j_per_kbit.half_width
+                if self.normalized_energy_j_per_kbit is not None
+                else 0.0
+            ),
+            "delay_s": self.mean_delay_s.mean,
+            "delay_ci": self.mean_delay_s.half_width,
+        }
+
+
+def summarize_runs(
+    results: typing.Sequence[RunResult],
+    energy_key: str = ENERGY_TOTAL,
+    confidence: float = 0.95,
+) -> ReplicatedSummary:
+    """Summarize replicated :class:`RunResult` values.
+
+    Raises
+    ------
+    ValueError
+        If ``results`` is empty.
+    """
+    if not results:
+        raise ValueError("no runs to summarize")
+    goodputs = [result.goodput for result in results]
+    delays = [result.mean_delay_s for result in results]
+    energies = [
+        result.normalized_energy_j_per_kbit(energy_key)
+        for result in results
+        if result.delivered_bits > 0
+    ]
+    return ReplicatedSummary(
+        goodput=mean_confidence(goodputs, confidence),
+        normalized_energy_j_per_kbit=(
+            mean_confidence(energies, confidence) if energies else None
+        ),
+        mean_delay_s=mean_confidence(delays, confidence),
+        n_runs=len(results),
+        undelivered_runs=len(results) - len(energies),
+    )

@@ -1,0 +1,38 @@
+"""Prototype emulation harness (paper Section 4.2, Figures 11–12)."""
+
+from repro.testbed.accounting import (
+    EnergyBreakdown,
+    account_experiment,
+    account_mote,
+)
+from repro.testbed.emulation import (
+    TMOTE_CC2420,
+    WIFI_INTER_FRAME_S,
+    EmulatedWifiMac,
+    SensorLink,
+)
+from repro.testbed.eventlog import EventLog, LogEntry
+from repro.testbed.experiment import (
+    PrototypeConfig,
+    PrototypeResult,
+    default_threshold_sweep,
+    run_prototype,
+    sweep_thresholds,
+)
+
+__all__ = [
+    "EmulatedWifiMac",
+    "EnergyBreakdown",
+    "EventLog",
+    "LogEntry",
+    "PrototypeConfig",
+    "PrototypeResult",
+    "SensorLink",
+    "TMOTE_CC2420",
+    "WIFI_INTER_FRAME_S",
+    "account_experiment",
+    "account_mote",
+    "default_threshold_sweep",
+    "run_prototype",
+    "sweep_thresholds",
+]

@@ -1,0 +1,14 @@
+"""Deployment layouts used by the paper's analysis and evaluation."""
+
+from repro.topology.geometry import RANGE_EPSILON_M, Position, in_range
+from repro.topology.layout import Layout, grid_layout, line_layout, random_layout
+
+__all__ = [
+    "Layout",
+    "Position",
+    "RANGE_EPSILON_M",
+    "grid_layout",
+    "in_range",
+    "line_layout",
+    "random_layout",
+]

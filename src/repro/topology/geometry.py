@@ -1,0 +1,28 @@
+"""Planar geometry helpers shared by all topology generators."""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+class Position(typing.NamedTuple):
+    """A point in the deployment plane, in meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to ``other`` in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+#: Tolerance added to range checks so nodes placed exactly at the nominal
+#: range (e.g. grid neighbours at 40 m with a 40 m radio) stay connected
+#: despite floating-point placement error.
+RANGE_EPSILON_M = 1e-6
+
+
+def in_range(a: Position, b: Position, range_m: float) -> bool:
+    """Whether two positions are within ``range_m`` of each other."""
+    return a.distance_to(b) <= range_m + RANGE_EPSILON_M

@@ -1,0 +1,127 @@
+"""Node layouts: the paper's grid and line deployments, plus random layouts.
+
+A :class:`Layout` is simply an ordered mapping of integer node ids to
+:class:`~repro.topology.geometry.Position`.  Connectivity is *not* stored
+here — it is a function of each radio's range — but :meth:`Layout.graph`
+materializes the connectivity graph for a given range (used to build routing
+tables).
+"""
+
+from __future__ import annotations
+
+import typing
+
+import networkx
+
+from repro.topology.geometry import Position, in_range
+
+
+class Layout:
+    """An immutable placement of nodes in the plane.
+
+    Parameters
+    ----------
+    positions:
+        Mapping of node id → position.  Ids need not be contiguous but the
+        paper's layouts use ``0..n-1``.
+    """
+
+    def __init__(self, positions: typing.Mapping[int, Position]):
+        if not positions:
+            raise ValueError("a layout needs at least one node")
+        self._positions = dict(positions)
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All node ids in insertion order."""
+        return list(self._positions)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._positions
+
+    def position(self, node_id: int) -> Position:
+        """The position of ``node_id`` (KeyError if absent)."""
+        return self._positions[node_id]
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two nodes in meters."""
+        return self._positions[a].distance_to(self._positions[b])
+
+    def neighbors_within(self, node_id: int, range_m: float) -> list[int]:
+        """Ids of all *other* nodes within ``range_m`` of ``node_id``."""
+        origin = self._positions[node_id]
+        return [
+            other
+            for other, pos in self._positions.items()
+            if other != node_id and in_range(origin, pos, range_m)
+        ]
+
+    def graph(self, range_m: float) -> "networkx.Graph":
+        """Connectivity graph for radios with transmission range ``range_m``.
+
+        Edges carry a ``distance`` attribute in meters.
+        """
+        g = networkx.Graph()
+        g.add_nodes_from(self._positions)
+        ids = list(self._positions)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                if in_range(self._positions[a], self._positions[b], range_m):
+                    g.add_edge(a, b, distance=self.distance(a, b))
+        return g
+
+
+def grid_layout(rows: int = 6, cols: int = 6, spacing_m: float = 40.0) -> Layout:
+    """The paper's evaluation layout: a ``rows × cols`` grid.
+
+    Section 4.1 uses a 200×200 m² field with 36 nodes — a 6×6 grid with 40 m
+    spacing (the sensor radio range), spanning x, y ∈ [0, 200].  Node ids
+    are assigned row-major from the (0, 0) corner; the evaluation scenarios
+    place the sink near the center (node 14), see
+    :mod:`repro.models.scenario`.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must have at least one row and one column")
+    positions = {
+        row * cols + col: Position(col * spacing_m, row * spacing_m)
+        for row in range(rows)
+        for col in range(cols)
+    }
+    return Layout(positions)
+
+
+def line_layout(n_nodes: int, spacing_m: float = 40.0) -> Layout:
+    """The Section 2.2 multi-hop analysis layout: nodes on a line.
+
+    With the default 40 m spacing and six nodes, the endpoints are 200 m
+    apart: one Cabletron/Lucent-2 hop, five sensor-radio hops.
+    """
+    if n_nodes < 2:
+        raise ValueError("a line needs at least two nodes")
+    return Layout({i: Position(i * spacing_m, 0.0) for i in range(n_nodes)})
+
+
+def random_layout(
+    n_nodes: int,
+    width_m: float,
+    height_m: float,
+    rng: typing.Any,
+) -> Layout:
+    """Uniform random placement inside a ``width × height`` field.
+
+    Parameters
+    ----------
+    rng:
+        A ``random.Random``-like object (pass a named stream from
+        :class:`repro.sim.RngRegistry` for reproducibility).
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    positions = {
+        i: Position(rng.uniform(0.0, width_m), rng.uniform(0.0, height_m))
+        for i in range(n_nodes)
+    }
+    return Layout(positions)

@@ -1,0 +1,10 @@
+"""Workload generators for the evaluation scenarios."""
+
+from repro.traffic.generators import (
+    AudioBurstSource,
+    CbrSource,
+    PoissonSource,
+    SourceStats,
+)
+
+__all__ = ["AudioBurstSource", "CbrSource", "PoissonSource", "SourceStats"]

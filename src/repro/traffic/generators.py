@@ -1,0 +1,203 @@
+"""Traffic sources.
+
+The evaluation drives each sender with constant-bit-rate traffic (0.2 or
+2 kb/s of 32 B packets, Section 4.1).  Beyond CBR, the module provides a
+Poisson source and an on/off burst source modelling EnviroMic-style audio
+capture [Luo et al., ICDCS'07] — the paper's motivating example of an
+application that fills BCP buffers quickly.
+
+Every source is a kernel process that calls ``submit(packet)`` — typically
+a routing agent's or BCP agent's ingestion method — and counts what it
+generated so goodput can be computed.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.net.packets import DataPacket
+from repro.units import BITS_PER_BYTE
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+SubmitFn = typing.Callable[[DataPacket], None]
+
+
+class SourceStats:
+    """What a source produced (the goodput denominator)."""
+
+    def __init__(self) -> None:
+        self.packets_generated = 0
+        self.bits_generated = 0
+
+
+class CbrSource:
+    """Constant-bit-rate source: one packet every ``payload_bits / rate``.
+
+    Parameters
+    ----------
+    sim / node_id / dst:
+        Kernel, the generating node, the destination (the sink).
+    submit:
+        Ingestion callback for generated packets.
+    rate_bps:
+        Application data rate (payload bits per second).
+    payload_bytes:
+        Per-packet payload (the paper's sensor packets are 32 B).
+    start_jitter_s:
+        The first packet is emitted after a uniform random delay in
+        ``[0, interval + start_jitter_s)`` to desynchronize senders.
+    stop_s:
+        Generation stops at this time (None = never).
+    rng:
+        Random stream for jitter.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        dst: int,
+        submit: SubmitFn,
+        rate_bps: float,
+        payload_bytes: int = 32,
+        start_jitter_s: float = 0.0,
+        stop_s: float | None = None,
+        rng: typing.Any = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        self.sim = sim
+        self.node_id = node_id
+        self.dst = dst
+        self.submit = submit
+        self.payload_bits = payload_bytes * BITS_PER_BYTE
+        self.interval_s = self.payload_bits / rate_bps
+        self.stop_s = stop_s
+        self.stats = SourceStats()
+        self._rng = rng or sim.rng.stream(f"traffic.cbr.{node_id}")
+        self._jitter = start_jitter_s
+        sim.process(self._run(), name=f"cbr.{node_id}")
+
+    def _run(self) -> typing.Generator:
+        yield self.sim.timeout(self._rng.uniform(0.0, self.interval_s + self._jitter))
+        while self.stop_s is None or self.sim.now < self.stop_s:
+            self._emit()
+            yield self.sim.timeout(self.interval_s)
+
+    def _emit(self) -> None:
+        packet = DataPacket(
+            src=self.node_id,
+            dst=self.dst,
+            payload_bits=self.payload_bits,
+            created_s=self.sim.now,
+        )
+        self.stats.packets_generated += 1
+        self.stats.bits_generated += self.payload_bits
+        self.submit(packet)
+
+
+class PoissonSource:
+    """Poisson arrivals with the given mean rate (memoryless sensing)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        dst: int,
+        submit: SubmitFn,
+        mean_rate_bps: float,
+        payload_bytes: int = 32,
+        stop_s: float | None = None,
+        rng: typing.Any = None,
+    ):
+        if mean_rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.node_id = node_id
+        self.dst = dst
+        self.submit = submit
+        self.payload_bits = payload_bytes * BITS_PER_BYTE
+        self.mean_interval_s = self.payload_bits / mean_rate_bps
+        self.stop_s = stop_s
+        self.stats = SourceStats()
+        self._rng = rng or sim.rng.stream(f"traffic.poisson.{node_id}")
+        sim.process(self._run(), name=f"poisson.{node_id}")
+
+    def _run(self) -> typing.Generator:
+        while self.stop_s is None or self.sim.now < self.stop_s:
+            yield self.sim.timeout(self._rng.expovariate(1.0 / self.mean_interval_s))
+            if self.stop_s is not None and self.sim.now >= self.stop_s:
+                return
+            packet = DataPacket(
+                src=self.node_id,
+                dst=self.dst,
+                payload_bits=self.payload_bits,
+                created_s=self.sim.now,
+            )
+            self.stats.packets_generated += 1
+            self.stats.bits_generated += self.payload_bits
+            self.submit(packet)
+
+
+class AudioBurstSource:
+    """EnviroMic-style on/off source: silence, then a dense audio clip.
+
+    During an "on" period (an acoustic event) the source emits packets
+    back-to-back at ``burst_rate_bps``; "off" periods are exponentially
+    distributed silence.  This models the paper's observation that audio
+    applications "accumulate data much faster, making performance almost
+    real-time despite data buffering."
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        dst: int,
+        submit: SubmitFn,
+        burst_rate_bps: float = 64_000.0,
+        burst_duration_s: float = 2.0,
+        mean_silence_s: float = 60.0,
+        payload_bytes: int = 32,
+        stop_s: float | None = None,
+        rng: typing.Any = None,
+    ):
+        if burst_rate_bps <= 0 or burst_duration_s <= 0 or mean_silence_s <= 0:
+            raise ValueError("burst parameters must be positive")
+        self.sim = sim
+        self.node_id = node_id
+        self.dst = dst
+        self.submit = submit
+        self.burst_rate_bps = burst_rate_bps
+        self.burst_duration_s = burst_duration_s
+        self.mean_silence_s = mean_silence_s
+        self.payload_bits = payload_bytes * BITS_PER_BYTE
+        self.stop_s = stop_s
+        self.stats = SourceStats()
+        self._rng = rng or sim.rng.stream(f"traffic.audio.{node_id}")
+        sim.process(self._run(), name=f"audio.{node_id}")
+
+    def _run(self) -> typing.Generator:
+        interval = self.payload_bits / self.burst_rate_bps
+        while self.stop_s is None or self.sim.now < self.stop_s:
+            yield self.sim.timeout(
+                self._rng.expovariate(1.0 / self.mean_silence_s)
+            )
+            burst_end = self.sim.now + self.burst_duration_s
+            while self.sim.now < burst_end:
+                if self.stop_s is not None and self.sim.now >= self.stop_s:
+                    return
+                packet = DataPacket(
+                    src=self.node_id,
+                    dst=self.dst,
+                    payload_bits=self.payload_bits,
+                    created_s=self.sim.now,
+                )
+                self.stats.packets_generated += 1
+                self.stats.bits_generated += self.payload_bits
+                self.submit(packet)
+                yield self.sim.timeout(interval)

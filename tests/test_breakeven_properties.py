@@ -1,0 +1,91 @@
+"""Property-based tests on the break-even equations."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy.breakeven import (
+    DualRadioLink,
+    breakeven_bits,
+    breakeven_bits_multihop,
+    energy_high,
+    energy_low,
+    energy_low_multihop,
+)
+from repro.energy.radio_specs import (
+    CABLETRON,
+    LUCENT_2,
+    LUCENT_11,
+    MICA,
+    MICA2,
+    MICAZ,
+)
+
+low_specs = st.sampled_from([MICA, MICA2, MICAZ])
+high_specs = st.sampled_from([CABLETRON, LUCENT_2, LUCENT_11])
+sizes = st.integers(min_value=0, max_value=10_000_000)
+idles = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+@given(low_specs, sizes)
+def test_energy_low_nonnegative_and_monotone(low, bits):
+    here = energy_low(bits, low)
+    there = energy_low(bits + low.payload_bits, low)
+    assert here >= 0
+    assert there >= here
+
+
+@given(low_specs, high_specs, sizes, idles)
+def test_energy_high_nonnegative_and_monotone(low, high, bits, idle):
+    link = DualRadioLink(low=low, high=high, idle_s=idle)
+    here = energy_high(bits, link)
+    there = energy_high(bits + high.payload_bits, link)
+    assert here >= link.fixed_overhead_j
+    assert there >= here
+
+
+@given(low_specs, high_specs, idles, idles)
+def test_breakeven_monotone_in_idle(low, high, idle_a, idle_b):
+    """More idling can only push the break-even point out (Fig. 2)."""
+    lo, hi = sorted((idle_a, idle_b))
+    s_lo = breakeven_bits(DualRadioLink(low=low, high=high, idle_s=lo))
+    s_hi = breakeven_bits(DualRadioLink(low=low, high=high, idle_s=hi))
+    assert s_hi >= s_lo
+
+
+@given(low_specs, high_specs, st.integers(min_value=1, max_value=10))
+def test_breakeven_monotone_in_forward_progress(low, high, fp):
+    """More forward progress can only help the high-power radio (Fig. 3)."""
+    link = DualRadioLink(low=low, high=high)
+    here = breakeven_bits_multihop(link, fp)
+    there = breakeven_bits_multihop(link, fp + 1)
+    assert there <= here
+
+
+@given(low_specs, high_specs, sizes)
+def test_above_breakeven_high_radio_wins(low, high, extra_bits):
+    """Eq. 3's defining property, checked against the smooth curves."""
+    link = DualRadioLink(low=low, high=high)
+    s_star = breakeven_bits(link)
+    if s_star == float("inf"):
+        return
+    bits = s_star + extra_bits + low.payload_bits * 4
+    # Compare the smooth (non-packetized) forms that Eq. 3 is defined over.
+    smooth_low = low.energy_per_payload_bit() * bits
+    smooth_high = link.fixed_overhead_j + high.energy_per_payload_bit() * bits
+    assert smooth_high <= smooth_low
+
+
+@given(low_specs, high_specs, sizes, st.integers(min_value=1, max_value=8))
+def test_multihop_low_is_fp_times_single(low, high, bits, fp):
+    link = DualRadioLink(low=low, high=high)
+    assert energy_low_multihop(bits, link, fp) == fp * energy_low(bits, low)
+
+
+@given(low_specs, sizes)
+def test_energy_low_packet_quantization(low, bits):
+    """Eq. 1's ceiling: energy only depends on the packet count."""
+    packets = math.ceil(bits / low.payload_bits) if bits else 0
+    reference = energy_low(packets * low.payload_bits, low)
+    assert energy_low(bits, low) == reference

@@ -1,0 +1,89 @@
+"""CLI argument handling and artifact rendering."""
+
+import pytest
+
+from repro.cli import build_parser, render_artifact
+from repro.models.sweeps import SweepScale
+
+
+def parse(*argv):
+    return build_parser().parse_args(list(argv))
+
+
+class TestParser:
+    def test_artifact_required(self):
+        with pytest.raises(SystemExit):
+            parse()
+
+    def test_defaults(self):
+        args = parse("fig5")
+        assert not args.paper
+        assert args.seed == 1
+        assert args.output is None
+
+    def test_scale_flags(self):
+        args = parse("fig5", "--runs", "3", "--sim-time", "200",
+                     "--senders", "5", "20", "--bursts", "10", "500")
+        assert args.runs == 3
+        assert args.sim_time == 200.0
+        assert args.senders == [5, 20]
+        assert args.bursts == [10, 500]
+
+
+class TestRenderArtifact:
+    def test_list_shows_everything(self):
+        text = render_artifact(parse("list"))
+        for name in ("table1", "fig1", "fig12"):
+            assert name in text
+
+    def test_unknown_artifact_exits(self):
+        with pytest.raises(SystemExit):
+            render_artifact(parse("fig99"))
+
+    def test_table1(self):
+        assert "Cabletron" in render_artifact(parse("table1"))
+
+    def test_analysis_figure(self):
+        assert "# series" in render_artifact(parse("fig2"))
+
+    def test_simulation_figure_with_tiny_scale(self):
+        text = render_artifact(
+            parse(
+                "fig5",
+                "--runs", "1",
+                "--sim-time", "30",
+                "--senders", "3",
+                "--bursts", "10",
+            )
+        )
+        assert "Goodput" in text
+        assert "DualRadio-10" in text
+        assert "Sensor" in text
+
+    def test_prototype_figure_with_coarse_step(self):
+        text = render_artifact(parse("fig11", "--step", "1024"))
+        assert "Dual-Radio" in text
+        assert "Sensor Radio" in text
+
+    def test_output_writes_file(self, tmp_path):
+        from repro.cli import main
+
+        target = tmp_path / "t1.txt"
+        assert main(["table1", "--output", str(target)]) == 0
+        assert "Micaz" in target.read_text()
+
+
+class TestScaleFromArgs:
+    def test_paper_flag(self):
+        from repro.cli.main import _scale_from_args
+
+        scale = _scale_from_args(parse("fig5", "--paper"))
+        assert scale.n_runs == SweepScale.paper().n_runs
+        assert scale.sim_time_s == 5000.0
+
+    def test_overrides_apply_on_top(self):
+        from repro.cli.main import _scale_from_args
+
+        scale = _scale_from_args(parse("fig5", "--paper", "--runs", "2"))
+        assert scale.n_runs == 2
+        assert scale.sim_time_s == 5000.0

@@ -1,0 +1,88 @@
+"""BCP per-next-hop buffering."""
+
+import pytest
+
+from repro.core.buffer import BulkBuffer
+from repro.net.packets import DataPacket
+
+
+def packet(size_bytes=32, src=1, dst=0):
+    return DataPacket(src=src, dst=dst, payload_bits=size_bytes * 8, created_s=0.0)
+
+
+class TestPush:
+    def test_accumulates_bytes(self):
+        buffer = BulkBuffer()
+        for _ in range(3):
+            assert buffer.push(5, packet())
+        assert buffer.bytes_for(5) == 96
+        assert buffer.packets_for(5) == 3
+        assert buffer.total_bytes == 96
+
+    def test_separate_queues_per_next_hop(self):
+        buffer = BulkBuffer()
+        buffer.push(1, packet())
+        buffer.push(2, packet())
+        buffer.push(2, packet())
+        assert buffer.bytes_for(1) == 32
+        assert buffer.bytes_for(2) == 64
+        assert sorted(buffer.next_hops()) == [1, 2]
+
+    def test_capacity_enforced_nodewide(self):
+        buffer = BulkBuffer(capacity_bytes=64)
+        assert buffer.push(1, packet())
+        assert buffer.push(2, packet())
+        assert not buffer.push(1, packet())
+        assert buffer.drops == 1
+        assert buffer.total_bytes == 64
+
+    def test_peak_tracking(self):
+        buffer = BulkBuffer()
+        buffer.push(1, packet())
+        buffer.push(1, packet())
+        buffer.pop_up_to(1, 1000)
+        assert buffer.peak_bytes == 64
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BulkBuffer(capacity_bytes=0)
+
+
+class TestPop:
+    def test_pop_respects_budget(self):
+        buffer = BulkBuffer()
+        for _ in range(5):
+            buffer.push(1, packet())
+        popped = buffer.pop_up_to(1, 100)  # 3 x 32 = 96 <= 100
+        assert len(popped) == 3
+        assert buffer.bytes_for(1) == 64
+
+    def test_pop_fifo_order(self):
+        buffer = BulkBuffer()
+        packets = [packet() for _ in range(4)]
+        for item in packets:
+            buffer.push(1, item)
+        popped = buffer.pop_up_to(1, 1000)
+        assert [p.packet_id for p in popped] == [p.packet_id for p in packets]
+
+    def test_pop_never_splits_packets(self):
+        buffer = BulkBuffer()
+        buffer.push(1, packet(size_bytes=100))
+        assert buffer.pop_up_to(1, 99) == []
+        assert buffer.bytes_for(1) == 100
+
+    def test_pop_empty_hop(self):
+        buffer = BulkBuffer()
+        assert buffer.pop_up_to(42, 1000) == []
+
+    def test_pop_frees_capacity(self):
+        buffer = BulkBuffer(capacity_bytes=64)
+        buffer.push(1, packet())
+        buffer.push(1, packet())
+        buffer.pop_up_to(1, 32)
+        assert buffer.push(1, packet())
+        assert buffer.free_bytes == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BulkBuffer().pop_up_to(1, -1)

@@ -1,0 +1,78 @@
+"""BCP configuration: thresholds from break-even analysis and burst sizes."""
+
+import pytest
+
+from repro.core.config import RULE_OF_THUMB_THRESHOLD_BYTES, BcpConfig
+from repro.core.messages import (
+    ControlEnvelope,
+    Wakeup,
+    WakeupAck,
+    new_session_id,
+)
+from repro.energy.breakeven import DualRadioLink, breakeven_bits
+from repro.energy.radio_specs import CABLETRON, LUCENT_11, MICAZ
+
+
+class TestBcpConfig:
+    def test_defaults_use_rule_of_thumb(self):
+        assert BcpConfig().threshold_bytes == RULE_OF_THUMB_THRESHOLD_BYTES
+
+    def test_threshold_positive(self):
+        with pytest.raises(ValueError):
+            BcpConfig(threshold_bytes=0)
+
+    def test_buffer_must_hold_threshold(self):
+        with pytest.raises(ValueError):
+            BcpConfig(threshold_bytes=1000, buffer_capacity_bytes=500)
+
+    def test_from_breakeven_scales_by_alpha(self):
+        link = DualRadioLink(low=MICAZ, high=LUCENT_11)
+        config = BcpConfig.from_breakeven(link, alpha=2.0)
+        expected = 2.0 * breakeven_bits(link) / 8.0
+        assert config.threshold_bytes == pytest.approx(expected)
+
+    def test_from_breakeven_infeasible_falls_back(self):
+        """Section 3: without known characteristics use ~10 KB."""
+        link = DualRadioLink(low=MICAZ, high=CABLETRON)
+        config = BcpConfig.from_breakeven(link, alpha=2.0)
+        assert config.threshold_bytes == RULE_OF_THUMB_THRESHOLD_BYTES
+
+    def test_from_breakeven_alpha_positive(self):
+        link = DualRadioLink(low=MICAZ, high=LUCENT_11)
+        with pytest.raises(ValueError):
+            BcpConfig.from_breakeven(link, alpha=0)
+
+    def test_for_burst_packets_matches_section41(self):
+        config = BcpConfig.for_burst_packets(500)
+        assert config.threshold_bytes == 500 * 32
+
+    def test_for_burst_packets_positive(self):
+        with pytest.raises(ValueError):
+            BcpConfig.for_burst_packets(0)
+
+    def test_overrides_flow_through(self):
+        config = BcpConfig.for_burst_packets(
+            10, flow_control=False, idle_linger_s=0.1
+        )
+        assert not config.flow_control
+        assert config.idle_linger_s == 0.1
+
+
+class TestMessages:
+    def test_session_ids_unique(self):
+        assert new_session_id() != new_session_id()
+
+    def test_wakeup_fields(self):
+        wakeup = Wakeup(origin=1, target=2, session_id=9, burst_bytes=16000)
+        assert wakeup.burst_bytes == 16000
+
+    def test_ack_fields(self):
+        ack = WakeupAck(origin=2, target=1, session_id=9, allowed_bytes=8000)
+        assert ack.allowed_bytes == 8000
+
+    def test_envelope_forwarding_decrements_ttl(self):
+        envelope = ControlEnvelope("msg", src=1, dst=5, ttl=3)
+        hop = envelope.forwarded()
+        assert hop.ttl == 2
+        assert hop.message == "msg"
+        assert envelope.ttl == 3  # original untouched

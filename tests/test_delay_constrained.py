@@ -1,0 +1,83 @@
+"""Delay-constrained hybrid delivery — the paper's Section 5 future work.
+
+"Based on delay constraints, the low-power radio can also be allowed to
+send data."  With ``max_delay_s`` configured, BCP flushes packets over the
+low-power radio when buffering would violate their deadline; without it,
+data waits for the threshold indefinitely (the paper's pure BCP).
+"""
+
+import pytest
+
+from repro.core.config import BcpConfig
+
+from tests.test_bcp import DualNet
+
+
+def config_with_deadline(max_delay_s, threshold_packets=50):
+    return BcpConfig.for_burst_packets(
+        threshold_packets, max_delay_s=max_delay_s
+    )
+
+
+class TestDeadlineFlush:
+    def test_pure_bcp_waits_forever_below_threshold(self):
+        net = DualNet(config=config_with_deadline(None))
+        net.inject(0, 5)  # far below the 50-packet threshold
+        net.sim.run(until=60.0)
+        assert net.delivered == []
+
+    def test_deadline_flushes_over_low_radio(self):
+        net = DualNet(config=config_with_deadline(2.0))
+        net.inject(0, 5)
+        net.sim.run(until=10.0)
+        assert len(net.delivered) == 5
+        assert net.agents[0].stats.packets_sent_low == 5
+        # No bulk machinery was used.
+        assert net.agents[0].stats.wakeups_sent == 0
+        assert not net.high_radios[0].is_on
+
+    def test_delay_bounded_by_budget(self):
+        net = DualNet(config=config_with_deadline(2.0))
+        net.inject(0, 5)
+        net.sim.run(until=10.0)
+        for packet in net.delivered:
+            assert packet.created_s + 2.0 <= net.sim.now
+        # Delivered shortly after the 2 s budget, not at sim end.
+        assert net.sim.now >= 2.0
+
+    def test_threshold_still_preferred_when_reached_in_time(self):
+        """Data that fills a burst before its deadline goes high-power."""
+        config = BcpConfig.for_burst_packets(4, max_delay_s=30.0)
+        net = DualNet(config=config)
+        net.inject(0, 4)
+        net.sim.run(until=40.0)
+        assert len(net.delivered) == 4
+        assert net.agents[0].stats.wakeups_sent == 1
+        assert net.agents[0].stats.packets_sent_low == 0
+
+    def test_multihop_low_radio_forwarding(self):
+        """Flushed packets relay hop-by-hop over the low radio."""
+        net = DualNet(n=3, config=config_with_deadline(2.0))
+        net.inject(0, 5)  # sink is node 2, two low hops away
+        net.sim.run(until=10.0)
+        assert len(net.delivered) == 5
+        assert all(packet.hops == 2 for packet in net.delivered)
+        # The relay (node 1) forwarded over its low radio too.
+        assert net.agents[1].stats.packets_sent_low == 5
+
+    def test_mixed_traffic_splits_by_deadline(self):
+        """A burst that fills in time rides the 802.11 radio; a trickle
+        that cannot is rescued by the low radio."""
+        config = BcpConfig.for_burst_packets(10, max_delay_s=5.0)
+        net = DualNet(config=config)
+        net.inject(0, 10)  # instant burst -> high radio
+        net.sim.run(until=2.0)
+        net.inject(0, 3)  # trickle -> deadline flush
+        net.sim.run(until=20.0)
+        assert len(net.delivered) == 13
+        assert net.agents[0].stats.packets_sent_low == 3
+        assert net.agents[0].stats.wakeups_sent == 1
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BcpConfig(max_delay_s=0.0)

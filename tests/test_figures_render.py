@@ -1,0 +1,89 @@
+"""Figure rendering with injected sweep data (no simulation cost)."""
+
+import pytest
+
+from repro.models.sweeps import SweepCell, SweepData
+from repro.report import figures
+from repro.stats.metrics import (
+    ENERGY_HIGH_RADIO,
+    ENERGY_LOW_RADIO,
+    ENERGY_SENSOR_FULL,
+    ENERGY_SENSOR_HEADER,
+    ENERGY_SENSOR_IDEAL,
+    ENERGY_TOTAL,
+    RunResult,
+)
+
+
+def fake_result(model, delivered=1000.0, energy=1.0, delay=2.0):
+    return RunResult(
+        model=model,
+        sim_time_s=100.0,
+        generated_bits=1200.0,
+        delivered_bits=delivered,
+        mean_delay_s=delay,
+        max_delay_s=delay * 3,
+        energy_j={
+            ENERGY_TOTAL: energy,
+            ENERGY_SENSOR_IDEAL: energy * 0.5,
+            ENERGY_SENSOR_HEADER: energy * 0.7,
+            ENERGY_SENSOR_FULL: energy * 0.9,
+            ENERGY_LOW_RADIO: energy * 0.5,
+            ENERGY_HIGH_RADIO: energy * 0.5,
+        },
+    )
+
+
+@pytest.fixture
+def fake_sweep():
+    cells = {
+        "DualRadio-10": {
+            5: SweepCell([fake_result("dual", energy=2.0, delay=1.0)]),
+            35: SweepCell([fake_result("dual", energy=2.5, delay=1.1)]),
+        },
+        "DualRadio-100": {
+            5: SweepCell([fake_result("dual", energy=0.8, delay=6.0)]),
+            35: SweepCell([fake_result("dual", energy=1.0, delay=6.5)]),
+        },
+        "Sensor": {
+            5: SweepCell([fake_result("sensor", energy=1.5)]),
+            35: SweepCell([fake_result("sensor", energy=3.0,
+                                       delivered=400.0)]),
+        },
+        "802.11": {
+            5: SweepCell([fake_result("wifi", energy=300.0)]),
+            35: SweepCell([fake_result("wifi", energy=300.0)]),
+        },
+    }
+    return SweepData(case="SH", rate_bps=2000.0, sim_time_s=100.0,
+                     n_runs=1, cells=cells)
+
+
+class TestInjectedSweepRendering:
+    def test_fig5_renders_all_labels(self, fake_sweep):
+        text = figures.fig5(sweep=fake_sweep)
+        for label in ("DualRadio-10", "DualRadio-100", "Sensor", "802.11"):
+            assert label in text
+
+    def test_fig6_splits_sensor_and_drops_wifi(self, fake_sweep):
+        text = figures.fig6(sweep=fake_sweep)
+        assert "Sensor-ideal" in text
+        assert "Sensor-header" in text
+        assert "802.11" not in text
+
+    def test_fig7_one_line_per_sender_count(self, fake_sweep):
+        text = figures.fig7(sweep=fake_sweep)
+        assert '# series "0.2Kbps-5"' in text
+        assert '# series "0.2Kbps-35"' in text
+
+    def test_fig8_9_10_mh_variants(self, fake_sweep):
+        fake_sweep.case = "MH"
+        assert "Goodput" in figures.fig8(sweep=fake_sweep)
+        assert "J/Kbit" in figures.fig9(sweep=fake_sweep)
+        assert "0.2Kbps-5" in figures.fig10(sweep=fake_sweep)
+
+    def test_fig11_12_with_coarse_thresholds(self):
+        text11 = figures.fig11(thresholds=[1024, 4096])
+        assert "Dual-Radio" in text11 and "Sensor Radio" in text11
+        text12 = figures.fig12(thresholds=[1024, 4096])
+        assert "Delay / Packet" in text12

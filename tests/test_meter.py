@@ -1,0 +1,100 @@
+"""Energy meters and power integrators."""
+
+import pytest
+
+from repro.energy.meter import EnergyMeter, PowerIntegrator
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+class TestEnergyMeter:
+    def test_starts_empty(self):
+        assert EnergyMeter("m").total() == 0.0
+
+    def test_charge_accumulates(self):
+        meter = EnergyMeter("m")
+        meter.charge(1.0, "radio", "tx")
+        meter.charge(2.0, "radio", "tx")
+        assert meter.total() == 3.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyMeter("m").charge(-0.1, "radio", "tx")
+
+    def test_filter_by_component(self):
+        meter = EnergyMeter("m")
+        meter.charge(1.0, "radio.low", "tx")
+        meter.charge(2.0, "radio.high", "tx")
+        assert meter.total(component="radio.low") == 1.0
+
+    def test_filter_by_categories(self):
+        meter = EnergyMeter("m")
+        meter.charge(1.0, "r", "tx")
+        meter.charge(2.0, "r", "rx")
+        meter.charge(4.0, "r", "idle")
+        assert meter.total(categories=("tx", "rx")) == 3.0
+
+    def test_by_category(self):
+        meter = EnergyMeter("m")
+        meter.charge(1.0, "a", "tx")
+        meter.charge(2.0, "b", "tx")
+        meter.charge(3.0, "a", "rx")
+        assert meter.by_category() == {"tx": 3.0, "rx": 3.0}
+        assert meter.by_category(component="a") == {"tx": 1.0, "rx": 3.0}
+
+    def test_breakdown_is_copy(self):
+        meter = EnergyMeter("m")
+        meter.charge(1.0, "a", "tx")
+        breakdown = meter.breakdown()
+        breakdown[("a", "tx")] = 99.0
+        assert meter.total() == 1.0
+
+
+class TestPowerIntegrator:
+    def test_integrates_constant_power(self, sim):
+        meter = EnergyMeter("m")
+        integrator = PowerIntegrator(sim, meter, "radio")
+        integrator.set_power(2.0, "idle")
+        sim.timeout(5.0)
+        sim.run()
+        integrator.flush()
+        assert meter.total() == pytest.approx(10.0)
+
+    def test_segments_by_category(self, sim):
+        meter = EnergyMeter("m")
+        integrator = PowerIntegrator(sim, meter, "radio")
+        integrator.set_power(1.0, "idle")
+        sim.call_later(2.0, lambda: integrator.set_power(3.0, "tx"))
+        sim.timeout(5.0)
+        sim.run()
+        integrator.flush()
+        categories = meter.by_category()
+        assert categories["idle"] == pytest.approx(2.0)
+        assert categories["tx"] == pytest.approx(9.0)
+
+    def test_zero_power_charges_nothing(self, sim):
+        meter = EnergyMeter("m")
+        integrator = PowerIntegrator(sim, meter, "radio")
+        sim.timeout(10.0)
+        sim.run()
+        integrator.flush()
+        assert meter.total() == 0.0
+
+    def test_negative_power_rejected(self, sim):
+        integrator = PowerIntegrator(sim, EnergyMeter("m"), "radio")
+        with pytest.raises(ValueError):
+            integrator.set_power(-1.0, "idle")
+
+    def test_double_flush_no_double_charge(self, sim):
+        meter = EnergyMeter("m")
+        integrator = PowerIntegrator(sim, meter, "radio")
+        integrator.set_power(1.0, "idle")
+        sim.timeout(4.0)
+        sim.run()
+        integrator.flush()
+        integrator.flush()
+        assert meter.total() == pytest.approx(4.0)

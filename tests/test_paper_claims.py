@@ -1,0 +1,174 @@
+"""End-to-end shape checks of the paper's evaluation claims (Figs. 5-10).
+
+These run the full 36-node grid at reduced time scale (the shapes the
+paper reports are driven by mechanisms — wake-up amortization, contention
+collapse, buffering delay — that operate identically at a few minutes of
+simulated time; only the CIs widen).  They are the slowest tests in the
+suite.
+
+Scale note: the largest paper bursts (1000/2500 packets) need thousands of
+simulated seconds just to fill their buffers (e.g. 2500 x 32 B at 2 kb/s
+is 320 s per burst), so the bench-scale claims here use bursts 10-500;
+``repro fig5 --paper`` runs the full parameterization.
+"""
+
+import pytest
+
+from repro.models import (
+    MODEL_SENSOR,
+    MODEL_WIFI,
+    multi_hop_config,
+    run_scenario,
+    single_hop_config,
+)
+from repro.stats.metrics import (
+    ENERGY_SENSOR_HEADER,
+    ENERGY_SENSOR_IDEAL,
+)
+
+
+@pytest.fixture(scope="module")
+def sh_runs():
+    """Single-hop case at 2 kb/s with every non-sink node sending."""
+    base = single_hop_config(
+        n_senders=35, rate_bps=2000.0, sim_time_s=150.0, seed=3
+    )
+    return {
+        "sensor": run_scenario(base.replace(model=MODEL_SENSOR)),
+        "wifi": run_scenario(base.replace(model=MODEL_WIFI)),
+        "dual10": run_scenario(base.replace(burst_packets=10)),
+        "dual100": run_scenario(base.replace(burst_packets=100)),
+        "dual500": run_scenario(base.replace(burst_packets=500)),
+    }
+
+
+@pytest.fixture(scope="module")
+def mh_runs():
+    """Multi-hop case: Cabletron reaches the sink in one hop."""
+    base = multi_hop_config(n_senders=35, sim_time_s=150.0, seed=3)
+    return {
+        "sensor": run_scenario(base.replace(model=MODEL_SENSOR)),
+        "dual10": run_scenario(base.replace(burst_packets=10)),
+        "dual100": run_scenario(base.replace(burst_packets=100)),
+        "dual500": run_scenario(base.replace(burst_packets=500)),
+    }
+
+
+class TestFig5Shapes:
+    def test_sensor_goodput_collapses_under_contention(self, sh_runs):
+        """Fig. 5: the sensor model degrades badly with 35 senders at
+        2 kb/s (contention + multi-hop losses)."""
+        assert sh_runs["sensor"].goodput < 0.6
+
+    def test_dual_small_bursts_match_wifi(self, sh_runs):
+        """Fig. 5: DualRadio-10/100 perform close to pure 802.11."""
+        wifi = sh_runs["wifi"].goodput
+        assert sh_runs["dual10"].goodput > 0.85 * wifi
+        assert sh_runs["dual100"].goodput > 0.85 * wifi
+
+    def test_dual_beats_sensor(self, sh_runs):
+        assert sh_runs["dual100"].goodput > sh_runs["sensor"].goodput + 0.2
+
+
+class TestFig6Shapes:
+    def test_dual_beats_sensor_header_severalfold(self, sh_runs):
+        """Fig. 6: a good burst size is multiple times better than the
+        overhearing-charged sensor model."""
+        dual = sh_runs["dual100"].normalized_energy()
+        sensor_header = sh_runs["sensor"].normalized_energy(
+            ENERGY_SENSOR_HEADER
+        )
+        assert sensor_header / dual > 2.0
+
+    def test_dual_approaches_sensor_ideal(self, sh_runs):
+        """Fig. 6: 'the dual-radio model approaches the ideal energy
+        consumption of the sensor model' — here it does better, because
+        the ideal sensor still pays contention losses at 2 kb/s."""
+        dual = sh_runs["dual100"].normalized_energy()
+        ideal = sh_runs["sensor"].normalized_energy(ENERGY_SENSOR_IDEAL)
+        assert dual < 1.5 * ideal
+
+    def test_dual10_wastes_energy(self, sh_runs):
+        """Fig. 6: a 10-packet burst (320 B < s*) does not save energy
+        compared to the ideal sensor accounting."""
+        dual10 = sh_runs["dual10"].normalized_energy()
+        sensor_ideal = sh_runs["sensor"].normalized_energy(
+            ENERGY_SENSOR_IDEAL
+        )
+        assert dual10 > sensor_ideal
+
+    def test_burst_size_orders_energy(self, sh_runs):
+        """Bigger bursts amortize wake-ups better (10 -> 100)."""
+        assert (
+            sh_runs["dual100"].normalized_energy()
+            < sh_runs["dual10"].normalized_energy()
+        )
+
+
+class TestFig7Shapes:
+    def test_energy_delay_tradeoff(self, sh_runs):
+        """Fig. 7: larger bursts trade delay for energy."""
+        assert (
+            sh_runs["dual100"].mean_delay_s > sh_runs["dual10"].mean_delay_s
+        )
+        assert (
+            sh_runs["dual100"].normalized_energy()
+            < sh_runs["dual10"].normalized_energy()
+        )
+
+    def test_delay_grows_further_at_500(self, sh_runs):
+        assert (
+            sh_runs["dual500"].mean_delay_s > sh_runs["dual100"].mean_delay_s
+        )
+
+
+class TestFig8Shapes:
+    def test_dual_outperforms_sensor_goodput(self, mh_runs):
+        """Fig. 8: with the one-hop advantage the dual model wins."""
+        assert mh_runs["dual100"].goodput > mh_runs["sensor"].goodput + 0.2
+
+    def test_sensor_contention_losses(self, mh_runs):
+        assert mh_runs["sensor"].goodput < 0.6
+
+
+class TestFig9Shapes:
+    def test_even_small_bursts_improve_energy(self, mh_runs):
+        """Fig. 9: 'Even with DualRadio-10 normalized energy improves,
+        mainly due to being able to send in one hop to the sink.'"""
+        dual10 = mh_runs["dual10"].normalized_energy()
+        sensor_header = mh_runs["sensor"].normalized_energy(
+            ENERGY_SENSOR_HEADER
+        )
+        assert dual10 < 1.05 * sensor_header
+
+    def test_dual_beats_sensor_ideal(self, mh_runs):
+        """Fig. 9: 'the dual radio model is able to perform close to or
+        even better than the ideal energy consumption of the sensor
+        model.'"""
+        dual = mh_runs["dual100"].normalized_energy()
+        ideal = mh_runs["sensor"].normalized_energy(ENERGY_SENSOR_IDEAL)
+        assert dual < ideal
+
+    def test_mh_beats_sh_for_same_burst(self, sh_runs, mh_runs):
+        """The one-hop advantage shows up as lower normalized energy in
+        MH than SH at the same burst size (Figs. 6 vs 9)."""
+        assert (
+            mh_runs["dual100"].normalized_energy()
+            < sh_runs["dual100"].normalized_energy()
+        )
+
+
+class TestFig10Shapes:
+    def test_energy_delay_tradeoff_mh(self, mh_runs):
+        assert (
+            mh_runs["dual100"].mean_delay_s > mh_runs["dual10"].mean_delay_s
+        )
+        assert (
+            mh_runs["dual100"].normalized_energy()
+            < mh_runs["dual10"].normalized_energy()
+        )
+
+    def test_delay_grows_further_at_500(self, mh_runs):
+        assert (
+            mh_runs["dual500"].mean_delay_s > mh_runs["dual100"].mean_delay_s
+        )

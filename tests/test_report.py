@@ -1,0 +1,102 @@
+"""Table/series rendering and the figure registry."""
+
+import pytest
+
+from repro.analysis.feasibility import Series
+from repro.report import (
+    REGISTRY,
+    format_value,
+    render_matrix,
+    render_series,
+    render_table,
+    series_to_csv,
+)
+from repro.report import figures
+
+
+class TestFormatValue:
+    def test_inf(self):
+        assert format_value(float("inf")) == "inf"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_precision(self):
+        assert format_value(0.123456789) == "0.1235"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["a", "bbb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "bbb" in lines[0]
+        assert "2.5" in lines[2]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderMatrix:
+    def test_shape(self):
+        matrix = {"Sensor": {5: 0.9, 35: 0.5}, "Dual": {5: 0.95}}
+        text = render_matrix(matrix, "senders")
+        assert "Sensor" in text
+        assert "nan" in text  # missing Dual@35 cell
+
+
+class TestRenderSeries:
+    def test_blocks_labelled(self):
+        series = [Series("alpha", (1.0, 2.0), (10.0, 20.0))]
+        text = render_series(series, "x", "y", title="T")
+        assert '# series "alpha"' in text
+        assert "# T" in text
+        assert "1\t10" in text
+
+    def test_thinning_keeps_endpoints(self):
+        xs = tuple(float(i) for i in range(100))
+        series = [Series("s", xs, xs)]
+        text = render_series(series, "x", "y", max_points=10)
+        assert "\n0\t0" in text
+        assert "99\t99" in text
+        data_lines = [l for l in text.splitlines() if "\t" in l]
+        assert len(data_lines) <= 12
+
+    def test_csv_long_format(self):
+        csv = series_to_csv([Series("s", (1.0,), (2.0,))])
+        assert csv == "label,x,y\ns,1,2\n"
+
+
+class TestRegistry:
+    def test_all_artifacts_present(self):
+        expected = {"table1"} | {f"fig{i}" for i in range(1, 13)}
+        assert set(REGISTRY) == expected
+
+    def test_table1_contains_all_radios(self):
+        text = figures.table1()
+        for name in ("Cabletron", "Lucent", "Mica", "Micaz"):
+            assert name in text
+
+    def test_analysis_figures_render(self):
+        for name in ("fig1", "fig2", "fig3", "fig4"):
+            text = REGISTRY[name]()
+            assert "# series" in text
+
+    def test_fig1_reports_breakeven_points(self):
+        text = figures.fig1()
+        assert "break-even points" in text
+        assert "infeasible" in text
+
+    def test_fig4_reports_knees(self):
+        assert "rule-of-thumb knees" in figures.fig4()

@@ -1,0 +1,130 @@
+"""Failure injection and adverse-condition behaviour across the stack."""
+
+import pytest
+
+from repro.models import ScenarioConfig, run_scenario
+from repro.stats.metrics import ENERGY_TOTAL
+
+
+def small(model, **overrides):
+    defaults = dict(
+        model=model,
+        rows=3,
+        cols=3,
+        sink=4,
+        n_senders=4,
+        rate_bps=2000.0,
+        sim_time_s=60.0,
+        burst_packets=20,
+        seed=31,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestLossyChannels:
+    @pytest.mark.parametrize("loss", [0.05, 0.15, 0.3])
+    def test_dual_still_delivers_under_loss(self, loss):
+        result = run_scenario(small("dual", loss_probability=loss))
+        assert result.goodput > 0.5
+        assert result.counters["mac.retransmissions"] > 0
+
+    def test_goodput_degrades_gracefully_with_loss(self):
+        results = [
+            run_scenario(small("sensor", loss_probability=loss))
+            for loss in (0.0, 0.2, 0.4)
+        ]
+        goodputs = [result.goodput for result in results]
+        assert goodputs[0] >= goodputs[1] >= goodputs[2] - 0.05
+        assert goodputs[0] > 0.9
+
+    def test_loss_costs_energy(self):
+        clean = run_scenario(small("sensor"))
+        lossy = run_scenario(small("sensor", loss_probability=0.3))
+        # Retransmissions burn extra joules per delivered bit.
+        assert lossy.normalized_energy() > clean.normalized_energy()
+
+
+class TestExtremeParameters:
+    def test_single_sender(self):
+        result = run_scenario(small("dual", n_senders=1))
+        assert result.goodput > 0.9
+
+    def test_tiny_buffer_drops_accounted(self):
+        result = run_scenario(
+            small("dual", burst_packets=5, buffer_packets=6, rate_bps=8000.0)
+        )
+        total_accounted = (
+            result.delivered_bits / 256
+            + result.counters.get("bcp.buffer_drops", 0)
+        )
+        assert total_accounted > 0
+        assert result.generated_bits > 0
+
+    def test_threshold_equals_buffer(self):
+        result = run_scenario(
+            small("dual", burst_packets=50, buffer_packets=50)
+        )
+        assert result.goodput > 0.5
+
+    def test_zero_linger_vs_long_linger_energy(self):
+        quick_off = run_scenario(small("dual", idle_linger_s=0.0))
+        lingering = run_scenario(small("dual", idle_linger_s=0.5))
+        assert (
+            lingering.energy_j[ENERGY_TOTAL]
+            > quick_off.energy_j[ENERGY_TOTAL]
+        )
+
+    def test_high_rate_saturation_does_not_crash(self):
+        result = run_scenario(small("dual", rate_bps=50_000.0,
+                                    burst_packets=100, sim_time_s=20.0))
+        assert 0.0 <= result.goodput <= 1.0
+
+
+class TestEnergySanity:
+    @pytest.mark.parametrize("model", ["sensor", "wifi", "dual"])
+    def test_energy_non_negative_and_finite(self, model):
+        result = run_scenario(small(model))
+        for key, joules in result.energy_j.items():
+            assert joules >= 0.0, key
+            assert joules < 1e6, key
+
+    def test_sensor_accountings_ordered(self):
+        result = run_scenario(small("sensor"))
+        assert (
+            result.energy_j["sensor_ideal"]
+            <= result.energy_j["sensor_header"]
+            <= result.energy_j["sensor_full"]
+        )
+
+    def test_longer_sim_more_energy(self):
+        short = run_scenario(small("dual", sim_time_s=30.0))
+        long = run_scenario(small("dual", sim_time_s=90.0))
+        assert long.energy_j[ENERGY_TOTAL] > short.energy_j[ENERGY_TOTAL]
+
+    def test_wifi_idle_dominates_total(self):
+        result = run_scenario(small("wifi"))
+        assert result.energy_j[ENERGY_TOTAL] == result.energy_j["high_radio"]
+        # 9 radios x ~0.74 W x 60 s ~ 400 J; tx adds a little.
+        assert result.energy_j[ENERGY_TOTAL] > 100.0
+
+
+class TestDeterminismAcrossModels:
+    @pytest.mark.parametrize("model", ["sensor", "wifi", "dual"])
+    def test_same_seed_identical_results(self, model):
+        first = run_scenario(small(model))
+        second = run_scenario(small(model))
+        assert first.generated_bits == second.generated_bits
+        assert first.delivered_bits == second.delivered_bits
+        assert first.energy_j == second.energy_j
+        assert first.mean_delay_s == second.mean_delay_s
+        assert first.counters == second.counters
+
+    def test_different_seeds_differ(self):
+        a = run_scenario(small("dual", seed=1))
+        b = run_scenario(small("dual", seed=2))
+        assert (
+            a.delivered_bits != b.delivered_bits
+            or a.energy_j != b.energy_j
+            or a.mean_delay_s != b.mean_delay_s
+        )

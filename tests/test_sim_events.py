@@ -1,0 +1,154 @@
+"""Event primitives: triggering, values, failure, composition."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    EventAlreadyTriggered,
+    SimulationError,
+    Simulator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+class TestEventLifecycle:
+    def test_new_event_is_pending(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_raises_while_pending(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().value
+
+    def test_succeed_sets_value(self, sim):
+        event = sim.event().succeed("payload")
+        assert event.triggered
+        assert event.ok
+        assert event.value == "payload"
+
+    def test_succeed_twice_raises(self, sim):
+        event = sim.event().succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_then_succeed_raises(self, sim):
+        event = sim.event()
+        event.fail(RuntimeError("boom"))
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_processed_after_run(self, sim):
+        event = sim.event().succeed(7)
+        sim.run()
+        assert event.processed
+
+    def test_callbacks_receive_event(self, sim):
+        event = sim.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed(41)
+        sim.run()
+        assert seen == [41]
+
+    def test_unhandled_failure_propagates_from_run(self, sim):
+        event = sim.event()
+        event.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            sim.run()
+
+    def test_defused_failure_does_not_propagate(self, sim):
+        event = sim.event()
+        event.fail(RuntimeError("handled"))
+        event.defuse()
+        sim.run()  # no raise
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, sim):
+        timeout = sim.timeout(2.5, value="done")
+        sim.run()
+        assert sim.now == 2.5
+        assert timeout.value == "done"
+
+    def test_zero_delay_fires_now(self, sim):
+        timeout = sim.timeout(0)
+        sim.run()
+        assert timeout.processed
+        assert sim.now == 0.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-0.1)
+
+    def test_cannot_trigger_manually(self, sim):
+        timeout = sim.timeout(1)
+        with pytest.raises(EventAlreadyTriggered):
+            timeout.succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            timeout.fail(RuntimeError())
+
+
+class TestConditions:
+    def test_anyof_fires_on_first(self, sim):
+        t1, t2 = sim.timeout(1, "a"), sim.timeout(2, "b")
+        any_of = AnyOf(sim, [t1, t2])
+        sim.run(until=any_of)
+        assert sim.now == 1.0
+        assert list(any_of.value.values()) == ["a"]
+
+    def test_allof_waits_for_all(self, sim):
+        t1, t2 = sim.timeout(1, "a"), sim.timeout(2, "b")
+        all_of = AllOf(sim, [t1, t2])
+        sim.run(until=all_of)
+        assert sim.now == 2.0
+        assert list(all_of.value.values()) == ["a", "b"]
+
+    def test_or_operator(self, sim):
+        combined = sim.timeout(1) | sim.timeout(5)
+        sim.run(until=combined)
+        assert sim.now == 1.0
+
+    def test_and_operator(self, sim):
+        combined = sim.timeout(1) & sim.timeout(5)
+        sim.run(until=combined)
+        assert sim.now == 5.0
+
+    def test_empty_condition_trivially_true(self, sim):
+        all_of = AllOf(sim, [])
+        assert all_of.triggered
+
+    def test_condition_over_processed_events(self, sim):
+        t1 = sim.timeout(1)
+        sim.run()
+        all_of = AllOf(sim, [t1])
+        sim.run()
+        assert all_of.processed
+
+    def test_failing_child_fails_condition(self, sim):
+        event = sim.event()
+        t2 = sim.timeout(10)
+        all_of = AllOf(sim, [event, t2])
+        event.fail(RuntimeError("child failed"))
+        with pytest.raises(RuntimeError, match="child failed"):
+            sim.run(until=all_of)
+
+    def test_cross_simulator_condition_rejected(self, sim):
+        other = Simulator(seed=2)
+        with pytest.raises(SimulationError):
+            AnyOf(sim, [sim.timeout(1), other.timeout(1)])
+
+    def test_anyof_value_records_only_processed(self, sim):
+        t1, t2 = sim.timeout(1, "fast"), sim.timeout(1000, "slow")
+        any_of = t1 | t2
+        sim.run(until=any_of)
+        assert t2 not in any_of.value

@@ -1,0 +1,64 @@
+"""Probes, counters and probe sets."""
+
+import pytest
+
+from repro.sim import Counter, Probe, ProbeSet, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+class TestProbe:
+    def test_records_with_timestamps(self, sim):
+        probe = Probe(sim, "delay")
+
+        def worker():
+            for value in (1.0, 2.0, 3.0):
+                yield sim.timeout(1)
+                probe.record(value)
+
+        sim.process(worker())
+        sim.run()
+        assert probe.series() == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+
+    def test_statistics(self, sim):
+        probe = Probe(sim, "p")
+        for value in (2.0, 4.0, 6.0):
+            probe.record(value)
+        assert probe.total == 12.0
+        assert probe.mean == 4.0
+        assert probe.last == 6.0
+        assert len(probe) == 3
+
+    def test_empty_probe_statistics(self, sim):
+        probe = Probe(sim, "empty")
+        assert probe.mean == 0.0
+        assert probe.last is None
+        assert probe.total == 0.0
+
+
+class TestCounter:
+    def test_add_default_one(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add()
+        assert counter.value == 2.0
+
+    def test_add_amount(self):
+        counter = Counter("c")
+        counter.add(2.5)
+        assert counter.value == 2.5
+
+
+class TestProbeSet:
+    def test_same_name_same_object(self, sim):
+        probes = ProbeSet(sim, prefix="node1.")
+        assert probes.probe("delay") is probes.probe("delay")
+        assert probes.counter("drops") is probes.counter("drops")
+
+    def test_prefix_applied(self, sim):
+        probes = ProbeSet(sim, prefix="node1.")
+        assert probes.probe("delay").name == "node1.delay"
+        assert probes.counter("drops").name == "node1.drops"

@@ -1,0 +1,180 @@
+"""Generator processes: waiting, returning, failing, interrupts."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+class TestProcessBasics:
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_runs_and_returns_value(self, sim):
+        def worker():
+            yield sim.timeout(3)
+            return "result"
+
+        process = sim.process(worker())
+        assert sim.run(until=process) == "result"
+        assert sim.now == 3.0
+
+    def test_is_alive_transitions(self, sim):
+        def worker():
+            yield sim.timeout(1)
+
+        process = sim.process(worker())
+        assert process.is_alive
+        sim.run()
+        assert not process.is_alive
+
+    def test_yield_non_event_fails_process(self, sim):
+        def worker():
+            yield 42
+
+        process = sim.process(worker())
+        with pytest.raises(SimulationError, match="may only yield"):
+            sim.run(until=process)
+
+    def test_yield_foreign_event_fails_process(self, sim):
+        other = Simulator(seed=2)
+
+        def worker():
+            yield other.timeout(1)
+
+        process = sim.process(worker())
+        with pytest.raises(SimulationError, match="different simulator"):
+            sim.run(until=process)
+
+    def test_exception_in_process_propagates(self, sim):
+        def worker():
+            yield sim.timeout(1)
+            raise ValueError("model bug")
+
+        process = sim.process(worker())
+        with pytest.raises(ValueError, match="model bug"):
+            sim.run(until=process)
+
+    def test_yielding_processed_event_continues_immediately(self, sim):
+        done = sim.timeout(1)
+
+        def worker():
+            yield sim.timeout(5)  # outlives `done`
+            value = yield done  # already processed
+            return value is None and sim.now
+
+        process = sim.process(worker())
+        assert sim.run(until=process) == 5.0
+
+    def test_processes_can_wait_on_each_other(self, sim):
+        def inner():
+            yield sim.timeout(2)
+            return "inner-done"
+
+        def outer():
+            result = yield sim.process(inner())
+            return f"outer saw {result}"
+
+        process = sim.process(outer())
+        assert sim.run(until=process) == "outer saw inner-done"
+
+    def test_failed_event_raises_inside_process(self, sim):
+        event = sim.event()
+
+        def worker():
+            try:
+                yield event
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        process = sim.process(worker())
+        event.fail(RuntimeError("oops"))
+        assert sim.run(until=process) == "caught oops"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        def worker():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as interrupt:
+                return interrupt.cause
+
+        process = sim.process(worker())
+
+        def interrupter():
+            yield sim.timeout(1)
+            process.interrupt("reason")
+
+        sim.process(interrupter())
+        assert sim.run(until=process) == "reason"
+        assert sim.now == 1.0
+
+    def test_interrupting_dead_process_raises(self, sim):
+        def worker():
+            return "x"
+            yield  # pragma: no cover
+
+        process = sim.process(worker())
+        sim.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_interrupted_process_can_keep_running(self, sim):
+        ticks = []
+
+        def worker():
+            while True:
+                try:
+                    yield sim.timeout(10)
+                    ticks.append("full")
+                except Interrupt:
+                    ticks.append("interrupted")
+
+        process = sim.process(worker())
+
+        def interrupter():
+            yield sim.timeout(1)
+            process.interrupt()
+
+        sim.process(interrupter())
+        sim.run(until=25)
+        # Interrupted at t=1, then full waits at 11 and 21.
+        assert ticks == ["interrupted", "full", "full"]
+
+    def test_unstarted_process_cannot_be_interrupted(self, sim):
+        def worker():
+            yield sim.timeout(1)
+
+        process = sim.process(worker())
+        with pytest.raises(SimulationError, match="not started"):
+            process.interrupt()
+
+    def test_interrupt_removes_stale_callback(self, sim):
+        """The interrupted wait target must not resume the process later."""
+        target = sim.timeout(5)
+        results = []
+
+        def worker():
+            try:
+                yield target
+                results.append("timeout")
+            except Interrupt:
+                results.append("interrupt")
+                yield sim.timeout(100)
+                results.append("after")
+
+        process = sim.process(worker())
+
+        def interrupter():
+            yield sim.timeout(1)
+            process.interrupt()
+
+        sim.process(interrupter())
+        sim.run(until=50)
+        assert results == ["interrupt"]

@@ -1,0 +1,98 @@
+"""Store semantics: FIFO order, capacity blocking, settle loops."""
+
+import pytest
+
+from repro.sim import Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+class TestStoreBasics:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        get = store.get()
+        sim.run()
+        assert get.value == "item"
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        for index in range(5):
+            store.put(index)
+        values = [store.get() for _ in range(5)]
+        sim.run()
+        assert [get.value for get in values] == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        outcome = []
+
+        def consumer():
+            item = yield store.get()
+            outcome.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(3)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert outcome == [(3.0, "late")]
+
+    def test_put_blocks_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        timeline = []
+
+        def producer():
+            yield store.put("a")
+            timeline.append(("a", sim.now))
+            yield store.put("b")
+            timeline.append(("b", sim.now))
+
+        def consumer():
+            yield sim.timeout(5)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert timeline == [("a", 0.0), ("b", 5.0)]
+
+    def test_len_and_is_full(self, sim):
+        store = Store(sim, capacity=2)
+        store.put(1)
+        store.put(2)
+        sim.run()
+        assert len(store) == 2
+        assert store.is_full
+
+    def test_many_producers_consumers_conserve_items(self, sim):
+        store = Store(sim, capacity=3)
+        produced, consumed = [], []
+
+        def producer(start, items):
+            for index in items:
+                yield sim.timeout(0.1)
+                yield store.put((start, index))
+                produced.append((start, index))
+
+        def consumer():
+            while True:
+                item = yield store.get()
+                consumed.append(item)
+                yield sim.timeout(0.05)
+
+        for start in range(3):
+            sim.process(producer(start, range(10)))
+        sim.process(consumer())
+        sim.run(until=100)
+        assert sorted(consumed) == sorted(produced)
+        assert len(consumed) == 30

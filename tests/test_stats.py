@@ -1,0 +1,186 @@
+"""Statistics: confidence intervals, metrics, sink collection, summaries."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packets import DataPacket
+from repro.sim import Simulator
+from repro.stats import (
+    ENERGY_TOTAL,
+    RunResult,
+    SinkCollector,
+    j_per_bit_to_j_per_kbit,
+    mean_confidence,
+    merge_counters,
+    summarize_runs,
+)
+
+
+class TestConfidence:
+    def test_mean(self):
+        estimate = mean_confidence([1.0, 2.0, 3.0])
+        assert estimate.mean == 2.0
+        assert estimate.n == 3
+
+    def test_single_sample_zero_width(self):
+        estimate = mean_confidence([5.0])
+        assert estimate.half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence([])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            mean_confidence([1.0], confidence=1.5)
+
+    def test_known_t_interval(self):
+        """n=20, std=1: half width = t(0.975, 19) / sqrt(20) = 0.468."""
+        values = [0.0, 1.0] * 10  # mean .5, sample std ~0.513
+        estimate = mean_confidence(values)
+        std = math.sqrt(sum((v - 0.5) ** 2 for v in values) / 19)
+        expected = 2.093 * std / math.sqrt(20)
+        assert estimate.half_width == pytest.approx(expected, rel=1e-3)
+
+    def test_bounds(self):
+        estimate = mean_confidence([2.0, 4.0, 6.0, 8.0])
+        assert estimate.low == estimate.mean - estimate.half_width
+        assert estimate.high == estimate.mean + estimate.half_width
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_property_mean_inside_interval(self, values):
+        estimate = mean_confidence(values)
+        assert estimate.low <= estimate.mean <= estimate.high
+
+    @given(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        st.integers(min_value=2, max_value=30),
+    )
+    def test_property_constant_sample_zero_width(self, value, n):
+        estimate = mean_confidence([value] * n)
+        assert estimate.half_width == pytest.approx(0.0, abs=1e-9)
+
+
+def result(generated=1000.0, delivered=800.0, energy=2.0, delay=1.0):
+    return RunResult(
+        model="dual",
+        sim_time_s=100.0,
+        generated_bits=generated,
+        delivered_bits=delivered,
+        mean_delay_s=delay,
+        max_delay_s=delay * 2,
+        energy_j={ENERGY_TOTAL: energy},
+    )
+
+
+class TestRunResult:
+    def test_goodput(self):
+        assert result().goodput == pytest.approx(0.8)
+
+    def test_goodput_no_traffic(self):
+        assert result(generated=0.0, delivered=0.0).goodput == 0.0
+
+    def test_normalized_energy(self):
+        assert result().normalized_energy() == pytest.approx(2.0 / 800.0)
+
+    def test_normalized_energy_j_per_kbit(self):
+        assert result().normalized_energy_j_per_kbit() == pytest.approx(
+            1000 * 2.0 / 800.0
+        )
+
+    def test_undelivered_energy_infinite(self):
+        assert result(delivered=0.0).normalized_energy() == float("inf")
+
+    def test_units_conversion(self):
+        assert j_per_bit_to_j_per_kbit(0.001) == 1.0
+
+
+class TestMergeCounters:
+    def test_sums_by_name(self):
+        merged = merge_counters({"a": 1.0, "b": 2.0}, {"a": 3.0})
+        assert merged == {"a": 4.0, "b": 2.0}
+
+
+class TestSinkCollector:
+    def test_records_delivery_and_delay(self):
+        sim = Simulator(seed=1)
+        collector = SinkCollector(sim, sink_id=0)
+
+        def deliver_later():
+            yield sim.timeout(2.0)
+            collector.deliver(DataPacket(src=5, dst=0, payload_bits=256,
+                                         created_s=0.5))
+
+        sim.process(deliver_later())
+        sim.run()
+        assert collector.packets_delivered == 1
+        assert collector.bits_delivered == 256
+        assert collector.delays_s == [1.5]
+        assert collector.per_source == {5: 1}
+
+    def test_duplicates_excluded(self):
+        sim = Simulator(seed=1)
+        collector = SinkCollector(sim, sink_id=0)
+        packet = DataPacket(src=5, dst=0, payload_bits=256, created_s=0.0)
+        collector.deliver(packet)
+        collector.deliver(packet)
+        assert collector.packets_delivered == 1
+        assert collector.duplicates == 1
+
+    def test_wrong_destination_rejected(self):
+        sim = Simulator(seed=1)
+        collector = SinkCollector(sim, sink_id=0)
+        with pytest.raises(ValueError):
+            collector.deliver(DataPacket(src=5, dst=3, payload_bits=8,
+                                         created_s=0.0))
+
+    def test_delay_statistics(self):
+        sim = Simulator(seed=1)
+        collector = SinkCollector(sim, sink_id=0)
+        assert collector.mean_delay_s == 0.0
+        assert collector.max_delay_s == 0.0
+
+
+class TestSummarize:
+    def test_aggregates_runs(self):
+        results = [result(delivered=800.0), result(delivered=900.0)]
+        summary = summarize_runs(results)
+        assert summary.n_runs == 2
+        assert summary.goodput.mean == pytest.approx((0.8 + 0.9) / 2)
+        assert summary.undelivered_runs == 0
+
+    def test_undelivered_runs_excluded_from_energy(self):
+        results = [result(), result(delivered=0.0)]
+        summary = summarize_runs(results)
+        assert summary.undelivered_runs == 1
+        assert summary.normalized_energy_j_per_kbit is not None
+        assert summary.normalized_energy_j_per_kbit.n == 1
+
+    def test_all_undelivered(self):
+        summary = summarize_runs([result(delivered=0.0)])
+        assert summary.normalized_energy_j_per_kbit is None
+        assert summary.row()["energy_j_per_kbit"] == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_row_shape(self):
+        row = summarize_runs([result()]).row()
+        assert set(row) == {
+            "goodput",
+            "goodput_ci",
+            "energy_j_per_kbit",
+            "energy_ci",
+            "delay_s",
+            "delay_ci",
+        }

@@ -1,0 +1,125 @@
+"""Traffic generators: rates, jitter, stop times, accounting."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.traffic import AudioBurstSource, CbrSource, PoissonSource
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=21)
+
+
+class TestCbr:
+    def test_rate_achieved(self, sim):
+        packets = []
+        CbrSource(sim, 1, 0, packets.append, rate_bps=200.0, payload_bytes=32)
+        sim.run(until=1280.0)  # 1000 intervals of 1.28 s
+        assert 995 <= len(packets) <= 1001
+
+    def test_interval_from_rate(self, sim):
+        source = CbrSource(sim, 1, 0, lambda p: None, rate_bps=2000.0)
+        assert source.interval_s == pytest.approx(256 / 2000.0)
+
+    def test_packets_well_formed(self, sim):
+        packets = []
+        CbrSource(sim, 3, 0, packets.append, rate_bps=200.0)
+        sim.run(until=10.0)
+        for packet in packets:
+            assert packet.src == 3
+            assert packet.dst == 0
+            assert packet.payload_bits == 256
+            assert packet.created_s <= sim.now
+
+    def test_stop_time_respected(self, sim):
+        packets = []
+        CbrSource(sim, 1, 0, packets.append, rate_bps=2000.0, stop_s=5.0)
+        sim.run(until=100.0)
+        assert all(packet.created_s < 5.0 + 0.129 for packet in packets)
+        count_at_stop = len(packets)
+        sim.run()
+        assert len(packets) == count_at_stop
+
+    def test_stats_track_generation(self, sim):
+        source = CbrSource(sim, 1, 0, lambda p: None, rate_bps=200.0)
+        sim.run(until=12.8)
+        assert source.stats.packets_generated >= 9
+        assert source.stats.bits_generated == (
+            source.stats.packets_generated * 256
+        )
+
+    def test_start_jitter_desynchronizes(self):
+        def first_emission(node_id):
+            sim = Simulator(seed=50)
+            packets = []
+            CbrSource(sim, node_id, 0, packets.append, rate_bps=200.0)
+            sim.run(until=3.0)
+            return packets[0].created_s
+
+        assert first_emission(1) != first_emission(2)
+
+    def test_invalid_rate(self, sim):
+        with pytest.raises(ValueError):
+            CbrSource(sim, 1, 0, lambda p: None, rate_bps=0.0)
+
+
+class TestPoisson:
+    def test_mean_rate(self, sim):
+        packets = []
+        PoissonSource(sim, 1, 0, packets.append, mean_rate_bps=2000.0)
+        sim.run(until=1000.0)
+        # Expected ~7812 packets; allow 5% tolerance.
+        assert 7400 <= len(packets) <= 8200
+
+    def test_interarrivals_vary(self, sim):
+        packets = []
+        PoissonSource(sim, 1, 0, packets.append, mean_rate_bps=2000.0)
+        sim.run(until=50.0)
+        gaps = {
+            round(b.created_s - a.created_s, 6)
+            for a, b in zip(packets, packets[1:])
+        }
+        assert len(gaps) > 10
+
+    def test_invalid_rate(self, sim):
+        with pytest.raises(ValueError):
+            PoissonSource(sim, 1, 0, lambda p: None, mean_rate_bps=-1.0)
+
+
+class TestAudioBurst:
+    def test_bursts_are_dense(self, sim):
+        packets = []
+        AudioBurstSource(
+            sim,
+            1,
+            0,
+            packets.append,
+            burst_rate_bps=64_000.0,
+            burst_duration_s=1.0,
+            mean_silence_s=30.0,
+        )
+        sim.run(until=300.0)
+        assert len(packets) > 500  # several bursts of ~250 packets each
+
+    def test_silence_between_bursts(self, sim):
+        packets = []
+        AudioBurstSource(
+            sim,
+            1,
+            0,
+            packets.append,
+            burst_rate_bps=64_000.0,
+            burst_duration_s=0.5,
+            mean_silence_s=60.0,
+        )
+        sim.run(until=600.0)
+        gaps = [
+            b.created_s - a.created_s for a, b in zip(packets, packets[1:])
+        ]
+        assert max(gaps) > 5.0  # real silence exists
+        assert min(gaps) < 0.01  # burst density exists
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ValueError):
+            AudioBurstSource(sim, 1, 0, lambda p: None, burst_rate_bps=0.0)
