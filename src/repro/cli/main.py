@@ -8,9 +8,19 @@ Examples
     repro table1                   # Table 1
     repro fig4                     # analysis figure (exact, instant)
     repro fig5                     # simulation figure (bench scale)
-    repro fig5 --paper             # full Section 4.1 scale (hours)
+    repro fig5 --paper --jobs 0    # full Section 4.1 scale, all cores
     repro fig6 --senders 5 20 35 --runs 3 --sim-time 300
+    repro fig5 --jobs 4            # fan cells over 4 worker processes
+    repro fig5 --no-cache          # force recomputation of every cell
     repro fig11 --step 64          # prototype sweep at finer threshold step
+
+Simulation figures (fig5–fig10) execute through the sweep runner: cells
+fan out over ``--jobs`` worker processes (default ``$REPRO_JOBS``, then
+serial) and completed cells persist in an on-disk cache (``--cache-dir``,
+default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so regenerating a
+figure, or a figure pair sharing a sweep, skips already-computed cells.
+Progress (cells completed, cache hits, ETA) streams to stderr; the
+artifact itself goes to stdout or ``--output``.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ import typing
 
 from repro.models.sweeps import SweepScale
 from repro.report import figures
+from repro.runner import ProgressPrinter, ResultCache, SweepRunner
 from repro.testbed.experiment import default_threshold_sweep
 
 #: Figures that accept a SweepScale.
@@ -72,6 +83,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=1, help="base random seed"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for sweep cells (0 = all cores; default "
+            "$REPRO_JOBS, else serial)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help=(
+            "result cache directory (default $REPRO_CACHE_DIR, else "
+            "~/.cache/repro)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
         "--step",
         type=int,
         default=128,
@@ -110,6 +144,26 @@ def _scale_from_args(args: argparse.Namespace) -> SweepScale:
     return dataclasses.replace(scale, **changes)
 
 
+def _runner_from_args(
+    args: argparse.Namespace, with_cache: bool = True
+) -> SweepRunner:
+    """Build the sweep runner the CLI flags describe.
+
+    Flag/environment mistakes (bad ``$REPRO_JOBS``, a cache dir that is a
+    file) exit cleanly here; ValueErrors raised later, during the sweep
+    itself, are internal failures and keep their tracebacks.
+    """
+    try:
+        cache = None
+        if with_cache and not args.no_cache:
+            cache = ResultCache(args.cache_dir)
+        return SweepRunner(
+            jobs=args.jobs, cache=cache, progress=ProgressPrinter(sys.stderr)
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+
+
 def render_artifact(args: argparse.Namespace) -> str:
     """Produce the requested artifact's text."""
     artifact = args.artifact.lower()
@@ -126,11 +180,22 @@ def render_artifact(args: argparse.Namespace) -> str:
     if artifact in _SIM_FIGURES:
         scale = _scale_from_args(args)
         fn = getattr(figures, artifact)
-        return fn(scale=scale)
+        return fn(scale=scale, runner=_runner_from_args(args))
     if artifact in _PROTO_FIGURES:
         thresholds = default_threshold_sweep(step_bytes=args.step)
         fn = getattr(figures, artifact)
-        return fn(thresholds=thresholds)
+        # Prototype measurements are not cached (the cache stores
+        # simulation RunResults); the runner still parallelizes points.
+        if args.cache_dir is not None:
+            print(
+                f"repro: note: --cache-dir is ignored for {artifact} "
+                "(prototype sweeps are not cached)",
+                file=sys.stderr,
+            )
+        return fn(
+            thresholds=thresholds,
+            runner=_runner_from_args(args, with_cache=False),
+        )
     return figures.REGISTRY[artifact]()
 
 

@@ -12,7 +12,6 @@ which is what a full receiver advertising ``allowed = 0`` degenerates to.
 from __future__ import annotations
 
 import collections
-import typing
 
 from repro.net.packets import DataPacket
 

@@ -60,6 +60,9 @@ from repro.stats.summary import ReplicatedSummary, summarize_runs
 from repro.topology.layout import Layout, grid_layout
 from repro.traffic.generators import AudioBurstSource, CbrSource, PoissonSource
 
+if typing.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runner.executor import SweepRunner
+
 #: Model identifiers.
 MODEL_SENSOR = "sensor"
 MODEL_WIFI = "wifi"
@@ -442,16 +445,35 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
     )
 
 
+def replica_configs(config: ScenarioConfig, n_runs: int) -> list[ScenarioConfig]:
+    """The ``n_runs`` replica configs of one cell: consecutive seeds.
+
+    Each replica is a complete, independent config — the unit of work the
+    runner executes and the cache keys on.
+    """
+    if n_runs < 1:
+        raise ValueError("need at least one run")
+    return [config.replace(seed=config.seed + offset) for offset in range(n_runs)]
+
+
 def run_replicated(
     config: ScenarioConfig,
     n_runs: int = 20,
     energy_key: str = ENERGY_TOTAL,
+    runner: "SweepRunner | None" = None,
 ) -> tuple[list[RunResult], ReplicatedSummary]:
-    """Run ``n_runs`` seeds of ``config`` and summarize with 95% CIs."""
-    if n_runs < 1:
-        raise ValueError("need at least one run")
-    results = [
-        run_scenario(config.replace(seed=config.seed + offset))
-        for offset in range(n_runs)
-    ]
+    """Run ``n_runs`` seeds of ``config`` and summarize with 95% CIs.
+
+    ``runner`` may be a :class:`~repro.runner.SweepRunner` to parallelize
+    or cache the replicas; the default serial runner is bit-identical to
+    in-process execution.
+    """
+    from repro.runner.executor import SweepRunner
+
+    runner = runner or SweepRunner()
+    results = runner.map(
+        run_scenario,
+        replica_configs(config, n_runs),
+        describe=lambda _i, c: f"{c.model} senders={c.n_senders} seed={c.seed}",
+    )
     return results, summarize_runs(results, energy_key=energy_key)

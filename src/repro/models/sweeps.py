@@ -14,11 +14,19 @@ the dual runs under the full dual accounting; Fig. 7/10 re-plot energy
 against delay.
 
 Scale note: the paper runs 5000 s × 20 seeds.  That is hours of CPU in
-pure Python, so callers choose the scale; the defaults here are laptop
-sized (the benchmark suite uses them) and `--paper` scale is available via
-the CLI.  Shapes are stable across this range because every mechanism
-(buffering delay, contention collapse, wake-up amortization) operates
-identically — only confidence intervals widen.
+pure Python when run serially, so callers choose the scale; the defaults
+here are laptop sized (the benchmark suite uses them) and `--paper` scale
+is available via the CLI.  Shapes are stable across this range because
+every mechanism (buffering delay, contention collapse, wake-up
+amortization) operates identically — only confidence intervals widen.
+
+The matrix is embarrassingly parallel: :func:`sweep_plan` lays out every
+``(label, sender-count, seed)`` run as an independent
+:class:`~repro.models.scenario.ScenarioConfig`, and :func:`run_sweep`
+executes the batch through a :class:`~repro.runner.SweepRunner` — serial
+by default, fanned over worker processes with ``jobs > 1``, and served
+from the on-disk result cache when one is attached.  Results are
+byte-identical either way.
 """
 
 from __future__ import annotations
@@ -32,9 +40,11 @@ from repro.models.scenario import (
     MODEL_WIFI,
     ScenarioConfig,
     multi_hop_config,
+    replica_configs,
     single_hop_config,
 )
 from repro.models.scenario import run_scenario
+from repro.runner.executor import SweepRunner
 from repro.stats.metrics import (
     ENERGY_SENSOR_HEADER,
     ENERGY_SENSOR_IDEAL,
@@ -112,8 +122,28 @@ class SweepScale:
 
     @classmethod
     def smoke(cls) -> "SweepScale":
-        """Minimal scale for CI smoke tests."""
+        """Smallest does-it-run-at-all scale (unit-test sized, 60 s).
+
+        Too small for the figure benchmarks' shape assertions — use
+        :meth:`ci` for those.
+        """
         return cls(senders=(5, 20), bursts=(10, 500), n_runs=1, sim_time_s=60.0)
+
+    @classmethod
+    def ci(cls) -> "SweepScale":
+        """The CI *benchmark* scale: a strict subset of the bench matrix.
+
+        Keeps the lightest and heaviest sender counts and the bursts the
+        figure assertions reference (10 and 100) at the full 120 s bench
+        duration, so every per-cell result — and thus every asserted
+        shape — matches the bench-scale run cell-for-cell.  (Contrast
+        :meth:`smoke`, which only checks that a sweep runs at all.)
+        """
+        return cls(senders=(5, 35), bursts=(10, 100), n_runs=1, sim_time_s=120.0)
+
+    def replace(self, **changes: typing.Any) -> "SweepScale":
+        """Copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
 
 
 def _base_config(case: str, rate_bps: float | None) -> ScenarioConfig:
@@ -130,12 +160,82 @@ def _base_config(case: str, rate_bps: float | None) -> ScenarioConfig:
     raise ValueError(f"case must be 'SH' or 'MH', got {case!r}")
 
 
-def _replicate(config: ScenarioConfig, n_runs: int) -> SweepCell:
-    results = [
-        run_scenario(config.replace(seed=config.seed + offset))
-        for offset in range(n_runs)
-    ]
-    return SweepCell(results)
+@dataclasses.dataclass(frozen=True)
+class PlannedRun:
+    """One run of the experiment matrix: its cell and concrete config."""
+
+    label: str
+    n_senders: int
+    config: ScenarioConfig
+
+    def describe(self, case: str) -> str:
+        """Progress label, e.g. ``"SH: DualRadio-500 senders=20 seed=3"``."""
+        return (
+            f"{case}: {self.label} senders={self.n_senders} "
+            f"seed={self.config.seed}"
+        )
+
+
+def sweep_plan(
+    case: str,
+    scale: SweepScale | None = None,
+    rate_bps: float | None = None,
+    include_wifi: bool = True,
+    include_sensor: bool = True,
+) -> list[PlannedRun]:
+    """Lay out every run of the matrix as an independent config.
+
+    Order is deterministic and matches the figures' legend order: dual
+    models per burst size, then the sensor baseline, then 802.11 — each
+    swept over sender counts, each cell replicated ``scale.n_runs`` times
+    with consecutive seeds.
+    """
+    scale = scale or SweepScale()
+    base = _base_config(case, rate_bps)
+    plan: list[PlannedRun] = []
+
+    def add_cell(label: str, n_senders: int, config: ScenarioConfig) -> None:
+        for replica in replica_configs(config, scale.n_runs):
+            plan.append(PlannedRun(label, n_senders, replica))
+
+    for burst in scale.bursts:
+        for n_senders in scale.senders:
+            add_cell(
+                dual_label(burst),
+                n_senders,
+                base.replace(
+                    model=MODEL_DUAL,
+                    burst_packets=burst,
+                    n_senders=n_senders,
+                    sim_time_s=scale.sim_time_s,
+                    seed=scale.seed,
+                ),
+            )
+    if include_sensor:
+        for n_senders in scale.senders:
+            add_cell(
+                LABEL_SENSOR,
+                n_senders,
+                base.replace(
+                    model=MODEL_SENSOR,
+                    n_senders=n_senders,
+                    sim_time_s=scale.sim_time_s,
+                    seed=scale.seed,
+                ),
+            )
+    if include_wifi:
+        for n_senders in scale.senders:
+            add_cell(
+                LABEL_WIFI,
+                n_senders,
+                base.replace(
+                    model=MODEL_WIFI,
+                    n_senders=n_senders,
+                    sim_time_s=scale.sim_time_s,
+                    seed=scale.seed,
+                ),
+            )
+    return plan
 
 
 def run_sweep(
@@ -145,6 +245,7 @@ def run_sweep(
     include_wifi: bool = True,
     include_sensor: bool = True,
     progress: typing.Callable[[str], None] | None = None,
+    runner: SweepRunner | None = None,
 ) -> SweepData:
     """Run the full experiment matrix for one case.
 
@@ -160,51 +261,49 @@ def run_sweep(
     include_wifi / include_sensor:
         Skip the baselines when a figure does not need them.
     progress:
-        Optional callback invoked with a human-readable line per cell.
+        Optional callback invoked with a human-readable line per cell
+        (the legacy interface; the runner's own progress events carry
+        completion counts, cache hits and ETA).
+    runner:
+        Execution engine.  Defaults to a fresh serial, cache-less
+        :class:`~repro.runner.SweepRunner`, which reproduces the historic
+        behavior exactly.
     """
     scale = scale or SweepScale()
+    plan = sweep_plan(
+        case,
+        scale,
+        rate_bps=rate_bps,
+        include_wifi=include_wifi,
+        include_sensor=include_sensor,
+    )
     base = _base_config(case, rate_bps)
+    legacy_progress = None
+    if progress is not None:
+        # One line per cell, emitted as each cell first produces a result,
+        # so the callback keeps tracking live execution.
+        announced: set[tuple[str, int]] = set()
+
+        def legacy_progress(event: typing.Any) -> None:
+            planned = plan[event.index]
+            cell = (planned.label, planned.n_senders)
+            if cell not in announced:
+                announced.add(cell)
+                progress(f"{case}: {planned.label} senders={planned.n_senders}")
+
+    runner = runner or SweepRunner()
+    results = runner.map(
+        run_scenario,
+        [planned.config for planned in plan],
+        describe=lambda index, _config: plan[index].describe(case),
+        progress=legacy_progress,
+    )
     cells: dict[str, dict[int, SweepCell]] = {}
-
-    def note(label: str, n_senders: int) -> None:
-        if progress is not None:
-            progress(f"{case}: {label} senders={n_senders}")
-
-    for burst in scale.bursts:
-        label = dual_label(burst)
-        cells[label] = {}
-        for n_senders in scale.senders:
-            note(label, n_senders)
-            config = base.replace(
-                model=MODEL_DUAL,
-                burst_packets=burst,
-                n_senders=n_senders,
-                sim_time_s=scale.sim_time_s,
-                seed=scale.seed,
-            )
-            cells[label][n_senders] = _replicate(config, scale.n_runs)
-    if include_sensor:
-        cells[LABEL_SENSOR] = {}
-        for n_senders in scale.senders:
-            note(LABEL_SENSOR, n_senders)
-            config = base.replace(
-                model=MODEL_SENSOR,
-                n_senders=n_senders,
-                sim_time_s=scale.sim_time_s,
-                seed=scale.seed,
-            )
-            cells[LABEL_SENSOR][n_senders] = _replicate(config, scale.n_runs)
-    if include_wifi:
-        cells[LABEL_WIFI] = {}
-        for n_senders in scale.senders:
-            note(LABEL_WIFI, n_senders)
-            config = base.replace(
-                model=MODEL_WIFI,
-                n_senders=n_senders,
-                sim_time_s=scale.sim_time_s,
-                seed=scale.seed,
-            )
-            cells[LABEL_WIFI][n_senders] = _replicate(config, scale.n_runs)
+    for planned, result in zip(plan, results):
+        per_count = cells.setdefault(planned.label, {})
+        per_count.setdefault(planned.n_senders, SweepCell([])).results.append(
+            result
+        )
     return SweepData(
         case=case,
         rate_bps=base.rate_bps if rate_bps is None else rate_bps,

@@ -11,7 +11,6 @@ handshake go through this table exactly as a real implementation's would.
 
 from __future__ import annotations
 
-import typing
 
 #: Interface names used throughout the library.
 LOW_INTERFACE = "low"

@@ -17,7 +17,6 @@ paper's static trees learning converges after the first burst along a path.
 
 from __future__ import annotations
 
-import typing
 
 from repro.net.routing import RoutingTable
 

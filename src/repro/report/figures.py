@@ -33,6 +33,7 @@ from repro.models.sweeps import (
     goodput_rows,
     run_sweep,
 )
+from repro.runner.executor import SweepRunner
 from repro.report.series import render_series
 from repro.report.tables import render_matrix, render_table
 from repro.testbed.experiment import (
@@ -127,10 +128,12 @@ def fig4() -> str:
 
 
 def fig5(
-    scale: SweepScale | None = None, sweep: SweepData | None = None
+    scale: SweepScale | None = None,
+    sweep: SweepData | None = None,
+    runner: SweepRunner | None = None,
 ) -> str:
     """Fig. 5: SH goodput vs number of senders."""
-    sweep = sweep or run_sweep("SH", scale, rate_bps=2000.0)
+    sweep = sweep or run_sweep("SH", scale, rate_bps=2000.0, runner=runner)
     return render_matrix(
         goodput_rows(sweep),
         x_label="senders",
@@ -140,10 +143,12 @@ def fig5(
 
 
 def fig6(
-    scale: SweepScale | None = None, sweep: SweepData | None = None
+    scale: SweepScale | None = None,
+    sweep: SweepData | None = None,
+    runner: SweepRunner | None = None,
 ) -> str:
     """Fig. 6: SH normalized energy (J/Kbit) vs number of senders."""
-    sweep = sweep or run_sweep("SH", scale, rate_bps=2000.0)
+    sweep = sweep or run_sweep("SH", scale, rate_bps=2000.0, runner=runner)
     return render_matrix(
         energy_rows(sweep),
         x_label="senders",
@@ -151,7 +156,11 @@ def fig6(
     )
 
 
-def fig7(scale: SweepScale | None = None, sweep: SweepData | None = None) -> str:
+def fig7(
+    scale: SweepScale | None = None,
+    sweep: SweepData | None = None,
+    runner: SweepRunner | None = None,
+) -> str:
     """Fig. 7: SH normalized energy vs delay (0.2 kb/s; one line per
     sender count, one point per burst size)."""
     if sweep is None:
@@ -159,7 +168,12 @@ def fig7(scale: SweepScale | None = None, sweep: SweepData | None = None) -> str
             bursts=(10, 100, 500), sim_time_s=1200.0, n_runs=1
         )
         sweep = run_sweep(
-            "SH", scale, rate_bps=200.0, include_wifi=False, include_sensor=False
+            "SH",
+            scale,
+            rate_bps=200.0,
+            include_wifi=False,
+            include_sensor=False,
+            runner=runner,
         )
     series = []
     for n_senders, points in sorted(energy_delay_points(sweep).items()):
@@ -180,10 +194,12 @@ def fig7(scale: SweepScale | None = None, sweep: SweepData | None = None) -> str
 
 
 def fig8(
-    scale: SweepScale | None = None, sweep: SweepData | None = None
+    scale: SweepScale | None = None,
+    sweep: SweepData | None = None,
+    runner: SweepRunner | None = None,
 ) -> str:
     """Fig. 8: MH goodput vs number of senders (2 kb/s)."""
-    sweep = sweep or run_sweep("MH", scale, rate_bps=2000.0)
+    sweep = sweep or run_sweep("MH", scale, rate_bps=2000.0, runner=runner)
     return render_matrix(
         goodput_rows(sweep),
         x_label="senders",
@@ -192,10 +208,12 @@ def fig8(
 
 
 def fig9(
-    scale: SweepScale | None = None, sweep: SweepData | None = None
+    scale: SweepScale | None = None,
+    sweep: SweepData | None = None,
+    runner: SweepRunner | None = None,
 ) -> str:
     """Fig. 9: MH normalized energy (J/Kbit) vs number of senders."""
-    sweep = sweep or run_sweep("MH", scale, rate_bps=2000.0)
+    sweep = sweep or run_sweep("MH", scale, rate_bps=2000.0, runner=runner)
     return render_matrix(
         energy_rows(sweep),
         x_label="senders",
@@ -203,14 +221,23 @@ def fig9(
     )
 
 
-def fig10(scale: SweepScale | None = None, sweep: SweepData | None = None) -> str:
+def fig10(
+    scale: SweepScale | None = None,
+    sweep: SweepData | None = None,
+    runner: SweepRunner | None = None,
+) -> str:
     """Fig. 10: MH normalized energy vs delay (0.2 kb/s)."""
     if sweep is None:
         scale = scale or SweepScale(
             bursts=(10, 100, 500), sim_time_s=1200.0, n_runs=1
         )
         sweep = run_sweep(
-            "MH", scale, rate_bps=200.0, include_wifi=False, include_sensor=False
+            "MH",
+            scale,
+            rate_bps=200.0,
+            include_wifi=False,
+            include_sensor=False,
+            runner=runner,
         )
     series = []
     for n_senders, points in sorted(energy_delay_points(sweep).items()):
@@ -237,10 +264,11 @@ def fig10(scale: SweepScale | None = None, sweep: SweepData | None = None) -> st
 def fig11(
     thresholds: typing.Sequence[float] | None = None,
     config: PrototypeConfig | None = None,
+    runner: SweepRunner | None = None,
 ) -> str:
     """Fig. 11: prototype energy per packet vs threshold size (α·s*)."""
     thresholds = list(thresholds or default_threshold_sweep())
-    results = sweep_thresholds(thresholds, config)
+    results = sweep_thresholds(thresholds, config, runner=runner)
     dual = Series(
         "Dual-Radio",
         tuple(result.threshold_bytes for result in results),
@@ -263,10 +291,11 @@ def fig11(
 def fig12(
     thresholds: typing.Sequence[float] | None = None,
     config: PrototypeConfig | None = None,
+    runner: SweepRunner | None = None,
 ) -> str:
     """Fig. 12: prototype energy per packet vs delay per packet."""
     thresholds = list(thresholds or default_threshold_sweep())
-    results = sweep_thresholds(thresholds, config)
+    results = sweep_thresholds(thresholds, config, runner=runner)
     curve = Series(
         "Dual-Radio",
         tuple(result.mean_delay_per_packet_ms for result in results),

@@ -1,0 +1,40 @@
+"""Parallel sweep execution with persistent result caching.
+
+The paper's evaluation is an embarrassingly-parallel matrix of independent
+``(model, sender-count, seed)`` simulation cells.  This package executes
+such matrices:
+
+* :mod:`~repro.runner.hashing` — stable content keys for scenario configs
+  (dataclass → canonical JSON → sha256);
+* :mod:`~repro.runner.cache` — an on-disk :class:`ResultCache` keyed by
+  those hashes, so repeated figure regenerations and CI runs skip cells
+  they have already computed;
+* :mod:`~repro.runner.executor` — :class:`SweepRunner`, which fans cells
+  out over a ``ProcessPoolExecutor`` (``--jobs N`` / ``REPRO_JOBS``,
+  default serial) while preserving input order and determinism;
+* :mod:`~repro.runner.progress` — per-cell :class:`ProgressEvent` stream
+  (cells completed, cache hits, ETA) for CLI reporting.
+
+Determinism: every stochastic choice in the simulator derives from the
+config's own ``seed`` via named RNG streams (:mod:`repro.sim.rng`), so a
+cell's result is a pure function of its config.  Parallel and serial
+execution therefore produce byte-identical results, and a config hash is a
+sound cache key.
+"""
+
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.executor import SweepRunner, resolve_jobs, runner_from_env
+from repro.runner.hashing import canonical_json, config_key
+from repro.runner.progress import ProgressEvent, ProgressPrinter
+
+__all__ = [
+    "ProgressEvent",
+    "ProgressPrinter",
+    "ResultCache",
+    "SweepRunner",
+    "canonical_json",
+    "config_key",
+    "default_cache_dir",
+    "resolve_jobs",
+    "runner_from_env",
+]

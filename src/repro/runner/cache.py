@@ -1,0 +1,179 @@
+"""On-disk cache of simulation results, keyed by config hash.
+
+One cache entry is one JSON file ``<sha256>.json`` under the cache
+directory, holding the schema version, the canonical config JSON (for
+debuggability — ``jq .config`` shows exactly what produced an entry) and
+the serialized :class:`~repro.stats.metrics.RunResult`.
+
+Robustness rules:
+
+* **Writes are atomic** (temp file + ``os.replace``), so a killed run
+  never leaves a half-written entry behind.
+* **Reads never trust the file**: any unreadable, truncated, schema-stale
+  or otherwise malformed entry is treated as a miss, deleted, and
+  recomputed — a corrupted cache can cost time, never correctness.
+
+The default location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import time
+import typing
+import warnings
+
+from repro.runner.hashing import CACHE_SCHEMA_VERSION, canonical_json, config_key
+from repro.stats.metrics import RunResult
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, or ``~/.cache/repro`` when unset."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+def result_to_dict(result: RunResult) -> dict[str, typing.Any]:
+    """Serialize a :class:`RunResult` to plain JSON-encodable data."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: dict[str, typing.Any]) -> RunResult:
+    """Rebuild a :class:`RunResult`; raises on missing/unknown fields."""
+    field_names = {field.name for field in dataclasses.fields(RunResult)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ValueError(f"unknown RunResult fields: {sorted(unknown)}")
+    return RunResult(**data)
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters of one cache's activity over its lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evicted_corrupt: int = 0
+    write_errors: int = 0
+
+
+class ResultCache:
+    """Persistent config-hash → :class:`RunResult` store.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created on first store.  Defaults to
+        :func:`default_cache_dir`.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self.directory = pathlib.Path(
+            directory if directory is not None else default_cache_dir()
+        )
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValueError(
+                f"cache directory {self.directory} exists and is not a "
+                "directory"
+            )
+        self.stats = CacheStats()
+        self._sweep_stale_tmp_files()
+
+    def _sweep_stale_tmp_files(self, max_age_s: float = 3600.0) -> None:
+        """Remove temp files orphaned by killed writers.
+
+        Only files older than ``max_age_s`` go, so a concurrent run's
+        in-flight write is never pulled out from under it.
+        """
+        if not self.directory.is_dir():
+            return
+        cutoff = time.time() - max_age_s
+        for tmp in self.directory.glob("*.tmp*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                pass
+
+    def path_for(self, config: typing.Any) -> pathlib.Path:
+        """The entry file a config maps to (whether or not it exists)."""
+        return self.directory / f"{config_key(config)}.json"
+
+    def get(self, config: typing.Any) -> RunResult | None:
+        """The cached result for ``config``, or ``None`` on a miss.
+
+        Malformed entries are evicted and reported as misses.
+        """
+        path = self.path_for(config)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            # UnicodeDecodeError is a ValueError, so binary garbage takes
+            # the same eviction path as malformed JSON.
+            entry = json.loads(raw.decode())
+            if entry["schema"] != CACHE_SCHEMA_VERSION:
+                raise ValueError(f"stale cache schema {entry['schema']!r}")
+            result = result_from_dict(entry["result"])
+        except (ValueError, KeyError, TypeError):
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, config: typing.Any, result: RunResult) -> pathlib.Path:
+        """Store ``result`` under ``config``'s key, atomically.
+
+        Write failures (disk full, permissions) degrade to a warning —
+        an unusable cache must never abort a sweep that is mid-flight
+        with hours of completed cells in hand.
+        """
+        path = self.path_for(config)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "config": json.loads(canonical_json(config)),
+            "result": result_to_dict(result),
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        except OSError as error:
+            self.stats.write_errors += 1
+            if self.stats.write_errors == 1:
+                warnings.warn(
+                    f"result cache write to {path} failed ({error}); "
+                    "continuing without caching",
+                    stacklevel=2,
+                )
+            return path
+        self.stats.stores += 1
+        return path
+
+    def _evict(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.evicted_corrupt += 1
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultCache dir={self.directory} entries={len(self)}>"

@@ -1,0 +1,163 @@
+"""The sweep executor: cache-aware, optionally parallel cell execution.
+
+:class:`SweepRunner` maps a pure function over a batch of configs.  The
+default is strictly serial (in-process, debuggable, bit-identical to the
+pre-runner code path); ``jobs > 1`` fans the batch out over a
+``ProcessPoolExecutor``.  Because every cell's result is a pure function
+of its config (see :mod:`repro.sim.rng` — all randomness derives from the
+config's own seed), parallel execution changes wall-clock time only, never
+results, and results can be cached across processes and sessions.
+
+Worker functions must be module-level (picklable) and configs must be
+dataclasses, which :func:`~repro.models.scenario.run_scenario` and
+:class:`~repro.models.scenario.ScenarioConfig` satisfy.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import typing
+
+from repro.runner.cache import CACHE_DIR_ENV, ResultCache
+from repro.runner.progress import ProgressEvent, ProgressTracker
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+ConfigT = typing.TypeVar("ConfigT")
+ResultT = typing.TypeVar("ResultT")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Resolve a ``--jobs`` value to a concrete worker count.
+
+    ``None`` falls back to ``$REPRO_JOBS``, then to 1 (serial).  A value
+    of 0 (or any negative) means "all cores".
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"${JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class SweepRunner:
+    """Executes batches of independent cells, with caching and progress.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 (the default) runs serial and in-process,
+        ``None`` reads ``$REPRO_JOBS``, and 0 means all cores.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely.
+    progress:
+        Optional callback receiving one :class:`ProgressEvent` per
+        finished cell.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache: ResultCache | None = None,
+        progress: typing.Callable[[ProgressEvent], None] | None = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.progress = progress
+
+    def map(
+        self,
+        fn: typing.Callable[[ConfigT], ResultT],
+        configs: typing.Sequence[ConfigT],
+        describe: typing.Callable[[int, ConfigT], str] | None = None,
+        progress: typing.Callable[[ProgressEvent], None] | None = None,
+    ) -> list[ResultT]:
+        """Run ``fn`` over ``configs``, returning results in input order.
+
+        Cached cells are served without executing ``fn``; the rest run
+        serially or across the worker pool.  Either way the returned list
+        lines up index-for-index with ``configs``.  ``progress`` receives
+        this batch's events in addition to the runner's own sink.
+        """
+        if describe is None:
+            describe = lambda index, _config: f"cell {index}"  # noqa: E731
+        sinks = [s for s in (self.progress, progress) if s is not None]
+
+        def fan_out(event: ProgressEvent) -> None:
+            for sink in sinks:
+                sink(event)
+
+        tracker = ProgressTracker(len(configs), sink=fan_out if sinks else None)
+        results: list[ResultT | None] = [None] * len(configs)
+        pending: list[int] = []
+        for index, config in enumerate(configs):
+            cached = self.cache.get(config) if self.cache is not None else None
+            if cached is not None:
+                results[index] = typing.cast(ResultT, cached)
+                tracker.cell_done(index, describe(index, config), cached=True)
+            else:
+                pending.append(index)
+
+        if self.jobs <= 1 or len(pending) <= 1:
+            for index in pending:
+                results[index] = self._finish(
+                    fn, configs, index, fn(configs[index]), describe, tracker
+                )
+        else:
+            workers = min(self.jobs, len(pending))
+            pool = concurrent.futures.ProcessPoolExecutor(workers)
+            try:
+                futures = {
+                    pool.submit(fn, configs[index]): index for index in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    index = futures[future]
+                    results[index] = self._finish(
+                        fn, configs, index, future.result(), describe, tracker
+                    )
+            except BaseException:
+                # On Ctrl-C (or a failed cell) drop the queued cells instead
+                # of draining them — a paper-scale sweep queues thousands.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            pool.shutdown()
+        return typing.cast("list[ResultT]", results)
+
+    def _finish(
+        self,
+        fn: typing.Callable[[ConfigT], ResultT],
+        configs: typing.Sequence[ConfigT],
+        index: int,
+        result: ResultT,
+        describe: typing.Callable[[int, ConfigT], str],
+        tracker: ProgressTracker,
+    ) -> ResultT:
+        if self.cache is not None:
+            self.cache.put(configs[index], result)
+        tracker.cell_done(index, describe(index, configs[index]), cached=False)
+        return result
+
+
+def runner_from_env(
+    progress: typing.Callable[[ProgressEvent], None] | None = None,
+) -> SweepRunner:
+    """A runner configured purely from the environment.
+
+    ``$REPRO_JOBS`` picks the worker count (default serial) and, when
+    ``$REPRO_CACHE_DIR`` is set, results persist there; without it no disk
+    cache is used.  This is what the benchmark suite builds, so local runs
+    get the speedup by exporting two variables and CI stays hermetic.
+    """
+    cache_dir = os.environ.get(CACHE_DIR_ENV)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return SweepRunner(jobs=None, cache=cache, progress=progress)

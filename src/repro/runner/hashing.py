@@ -1,0 +1,77 @@
+"""Stable content hashes for experiment configurations.
+
+A cache key must identify the *fully resolved* configuration: two configs
+that differ in any field — including nested :class:`~repro.energy.radio_specs.RadioSpec`
+values — must hash differently, and the same config must hash identically
+across processes, platforms and Python versions.  ``hash()`` is salted and
+``pickle`` is version-sensitive, so we canonicalize to JSON instead:
+dataclass → nested plain dict (sorted keys) → compact JSON → sha256.
+
+The key also covers the config's class (module-qualified name), the cache
+schema version, and the package version, so configs of different types can
+never collide and both format changes and simulator releases invalidate
+stale entries wholesale.  The package version cannot see uncommitted
+simulator edits, though — when iterating on simulator code itself, run
+with ``--no-cache`` (or bump :data:`CACHE_SCHEMA_VERSION`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import typing
+
+#: Bump to invalidate every existing cache entry (result format changes,
+#: semantic changes to the simulator that keep configs identical, ...).
+CACHE_SCHEMA_VERSION = 1
+
+
+def _canonicalize(value: typing.Any) -> typing.Any:
+    """Reduce ``value`` to JSON-encodable plain data, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonicalize(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _canonicalize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(item) for item in value]
+    if isinstance(value, float):
+        # json.dumps renders finite doubles via repr(), which round-trips
+        # exactly.  Non-finite values would emit `Infinity`/`NaN` (not
+        # standard JSON), so encode them as a tagged object — a bare repr
+        # string would collide with a literal string field of "inf".
+        if value != value or value in (float("inf"), float("-inf")):
+            return {"__float__": repr(value)}
+        return value
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for hashing: {value!r}"
+    )
+
+
+def _package_version() -> str:
+    # Imported lazily: ``repro`` pulls in the model layer, which (via the
+    # sweep modules) imports this package.
+    import repro
+
+    return repro.__version__
+
+
+def canonical_json(config: typing.Any) -> str:
+    """The canonical JSON form of a (possibly nested) dataclass config."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "version": _package_version(),
+        "type": f"{type(config).__module__}.{type(config).__qualname__}",
+        "config": _canonicalize(config),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_key(config: typing.Any) -> str:
+    """A stable sha256 hex key identifying ``config``."""
+    return hashlib.sha256(canonical_json(config).encode()).hexdigest()

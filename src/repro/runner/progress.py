@@ -1,0 +1,121 @@
+"""Progress reporting for sweep execution.
+
+The executor emits one :class:`ProgressEvent` per finished cell (computed
+or cache hit).  :class:`ProgressPrinter` renders events as single-line
+updates — cells completed, cache hits, ETA — suitable for stderr while an
+artifact streams to stdout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgressEvent:
+    """One cell finished (by computation or by cache hit).
+
+    Attributes
+    ----------
+    index:
+        Position of the finished cell in the submitted batch.
+    completed / total:
+        Batch progress after this cell.
+    cache_hits:
+        Cells of this batch served from the cache so far.
+    cached:
+        Whether *this* cell was a cache hit.
+    elapsed_s / eta_s:
+        Wall-clock spent so far, and the remaining-time estimate derived
+        from the mean pace of *computed* (non-cached) cells.  ``eta_s`` is
+        ``None`` until at least one cell was computed.
+    description:
+        Human-readable cell label (e.g. ``"SH: DualRadio-500 senders=20"``).
+    """
+
+    index: int
+    completed: int
+    total: int
+    cache_hits: int
+    cached: bool
+    elapsed_s: float
+    eta_s: float | None
+    description: str
+
+    def format(self) -> str:
+        """Render as a one-line status, e.g. ``[3/12] ... (hit) ETA 41s``."""
+        parts = [f"[{self.completed}/{self.total}]", self.description]
+        if self.cached:
+            parts.append("(cache hit)")
+        if self.eta_s is not None and self.completed < self.total:
+            parts.append(f"ETA {_format_duration(self.eta_s)}")
+        if self.completed == self.total:
+            parts.append(
+                f"done in {_format_duration(self.elapsed_s)}"
+                f" ({self.cache_hits}/{self.total} cached)"
+            )
+        return " ".join(parts)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rest:02.0f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressTracker:
+    """Aggregates per-cell completions into :class:`ProgressEvent` values."""
+
+    def __init__(
+        self,
+        total: int,
+        sink: typing.Callable[[ProgressEvent], None] | None = None,
+        clock: typing.Callable[[], float] = time.monotonic,
+    ):
+        self.total = total
+        self.sink = sink
+        self._clock = clock
+        self._start = clock()
+        self.completed = 0
+        self.cache_hits = 0
+
+    def cell_done(self, index: int, description: str, cached: bool) -> ProgressEvent:
+        """Record one finished cell and notify the sink."""
+        self.completed += 1
+        if cached:
+            self.cache_hits += 1
+        elapsed = self._clock() - self._start
+        computed = self.completed - self.cache_hits
+        remaining = self.total - self.completed
+        # Cache hits are ~free; pace the ETA on computed cells only.
+        eta = elapsed / computed * remaining if computed > 0 else None
+        event = ProgressEvent(
+            index=index,
+            completed=self.completed,
+            total=self.total,
+            cache_hits=self.cache_hits,
+            cached=cached,
+            elapsed_s=elapsed,
+            eta_s=eta,
+            description=description,
+        )
+        if self.sink is not None:
+            self.sink(event)
+        return event
+
+
+class ProgressPrinter:
+    """A sink that writes each event's one-line rendering to a stream."""
+
+    def __init__(self, stream: typing.TextIO | None = None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, event: ProgressEvent) -> None:
+        print(event.format(), file=self.stream, flush=True)

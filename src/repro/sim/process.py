@@ -17,7 +17,7 @@ import types
 import typing
 
 from repro.sim.errors import Interrupt, SimulationError
-from repro.sim.events import NORMAL, PENDING, URGENT, Event
+from repro.sim.events import PENDING, URGENT, Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import Simulator

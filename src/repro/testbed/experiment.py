@@ -38,6 +38,9 @@ from repro.testbed.emulation import (
 )
 from repro.testbed.eventlog import EventLog
 
+if typing.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runner.executor import SweepRunner
+
 SENDER = "sender"
 RECEIVER = "receiver"
 
@@ -196,14 +199,34 @@ def run_prototype(config: PrototypeConfig) -> PrototypeResult:
 def sweep_thresholds(
     thresholds_bytes: typing.Sequence[float],
     base_config: PrototypeConfig | None = None,
+    runner: "SweepRunner | None" = None,
 ) -> list[PrototypeResult]:
-    """Run the prototype across a threshold sweep (the Fig. 11/12 x-axis)."""
+    """Run the prototype across a threshold sweep (the Fig. 11/12 x-axis).
+
+    Each threshold point is an independent deterministic run, so the sweep
+    accepts a :class:`~repro.runner.SweepRunner` (without a result cache —
+    the cache stores simulation :class:`~repro.stats.metrics.RunResult`
+    records, not prototype measurements) to fan points over worker
+    processes.  The default serial runner matches in-process execution.
+    """
+    from repro.runner.executor import SweepRunner
+
+    runner = runner or SweepRunner()
+    if runner.cache is not None:
+        raise ValueError(
+            "sweep_thresholds does not support result caching; pass a "
+            "SweepRunner(cache=None)"
+        )
     base = base_config or PrototypeConfig()
-    results = []
-    for threshold in thresholds_bytes:
-        config = dataclasses.replace(base, threshold_bytes=float(threshold))
-        results.append(run_prototype(config))
-    return results
+    configs = [
+        dataclasses.replace(base, threshold_bytes=float(threshold))
+        for threshold in thresholds_bytes
+    ]
+    return runner.map(
+        run_prototype,
+        configs,
+        describe=lambda _i, c: f"prototype threshold={c.threshold_bytes:g}B",
+    )
 
 
 def default_threshold_sweep(

@@ -1,7 +1,6 @@
 """BCP protocol behaviour: handshake, bulk transfer, flow control,
 timeouts, power management and multi-hop forwarding."""
 
-import pytest
 
 from repro.channel.medium import LossModel, Medium
 from repro.core.bcp import BcpAgent

@@ -1,6 +1,5 @@
 """BCP edge cases: address-map gating, TTL exhaustion, late/stray acks."""
 
-import pytest
 
 from repro.core.messages import ControlEnvelope, Wakeup, WakeupAck
 from repro.net.addressing import AddressMap

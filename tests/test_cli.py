@@ -29,6 +29,19 @@ class TestParser:
         assert args.senders == [5, 20]
         assert args.bursts == [10, 500]
 
+    def test_runner_flags(self):
+        args = parse("fig5", "--jobs", "4", "--cache-dir", "/tmp/c",
+                     "--no-cache")
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+
+    def test_runner_flag_defaults(self):
+        args = parse("fig5")
+        assert args.jobs is None  # falls back to $REPRO_JOBS, then serial
+        assert args.cache_dir is None
+        assert not args.no_cache
+
 
 class TestRenderArtifact:
     def test_list_shows_everything(self):
@@ -54,11 +67,25 @@ class TestRenderArtifact:
                 "--sim-time", "30",
                 "--senders", "3",
                 "--bursts", "10",
+                "--no-cache",
             )
         )
         assert "Goodput" in text
         assert "DualRadio-10" in text
         assert "Sensor" in text
+
+    def test_simulation_figure_cache_and_jobs_reproduce(self, tmp_path):
+        tiny = ("fig5", "--runs", "1", "--sim-time", "30",
+                "--senders", "3", "--bursts", "10")
+        cold = render_artifact(
+            parse(*tiny, "--cache-dir", str(tmp_path))
+        )
+        warm = render_artifact(
+            parse(*tiny, "--cache-dir", str(tmp_path))
+        )
+        parallel = render_artifact(parse(*tiny, "--jobs", "2", "--no-cache"))
+        assert warm == cold == parallel
+        assert list(tmp_path.glob("*.json"))  # cache was populated
 
     def test_prototype_figure_with_coarse_step(self):
         text = render_artifact(parse("fig11", "--step", "1024"))

@@ -187,7 +187,6 @@ class TestLoss:
         sim = Simulator(seed=2)
         loss = LossModel(0.99, sim.rng.stream("loss"))
         h = Harness(loss=loss, seed=2)
-        dropped = 0
         for _ in range(50):
             h.radios[0].transmit(data_frame(0, 1))
             h.sim.run()

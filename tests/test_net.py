@@ -10,7 +10,7 @@ from repro.net.addressing import (
     format_short_address,
 )
 from repro.net.packets import DataPacket
-from repro.net.routing import RoutingError, RoutingTable, build_routing, tree_depths
+from repro.net.routing import RoutingError, build_routing, tree_depths
 from repro.net.shortcut import ShortcutLearner
 from repro.topology import grid_layout, line_layout
 

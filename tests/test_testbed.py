@@ -1,6 +1,5 @@
 """Prototype testbed: event logging, emulation, accounting, experiments."""
 
-import dataclasses
 
 import pytest
 
