@@ -7,6 +7,7 @@ quantization sawtooth).
 """
 
 from repro.report.figures import fig11
+from repro.runner import runner_from_env
 from repro.testbed.experiment import default_threshold_sweep, sweep_thresholds
 
 
@@ -14,7 +15,13 @@ def test_fig11(benchmark, print_artifact):
     thresholds = default_threshold_sweep(step_bytes=128)
 
     def regenerate():
-        return fig11(thresholds=thresholds), sweep_thresholds(thresholds)
+        # Prototype points run through the env-configured runner like the
+        # simulation sweeps: REPRO_JOBS fans them out, REPRO_CACHE_DIR
+        # persists them (PrototypeResult entries cache like RunResults).
+        return (
+            fig11(thresholds=thresholds, runner=runner_from_env()),
+            sweep_thresholds(thresholds, runner=runner_from_env()),
+        )
 
     (text, results) = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     print_artifact(text)

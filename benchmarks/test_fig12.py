@@ -6,6 +6,7 @@ savings much".
 """
 
 from repro.report.figures import fig12
+from repro.runner import runner_from_env
 from repro.testbed.experiment import default_threshold_sweep, sweep_thresholds
 
 
@@ -13,7 +14,10 @@ def test_fig12(benchmark, print_artifact):
     thresholds = default_threshold_sweep(step_bytes=256)
 
     def regenerate():
-        return fig12(thresholds=thresholds), sweep_thresholds(thresholds)
+        return (
+            fig12(thresholds=thresholds, runner=runner_from_env()),
+            sweep_thresholds(thresholds, runner=runner_from_env()),
+        )
 
     (text, results) = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     print_artifact(text)

@@ -14,11 +14,25 @@ Examples
     repro fig5 --no-cache          # force recomputation of every cell
     repro fig11 --step 64          # prototype sweep at finer threshold step
 
-Simulation figures (fig5–fig10) execute through the sweep runner: cells
-fan out over ``--jobs`` worker processes (default ``$REPRO_JOBS``, then
-serial) and completed cells persist in an on-disk cache (``--cache-dir``,
-default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so regenerating a
-figure, or a figure pair sharing a sweep, skips already-computed cells.
+    # multi-machine: each host computes its deterministic slice...
+    repro fig5 --paper --shard 0/2 --cache-dir /tmp/s0   # host 0
+    repro fig5 --paper --shard 1/2 --cache-dir /tmp/s1   # host 1
+    # ...then one host assembles and renders:
+    repro merge-shards merged/ /tmp/s0 /tmp/s1
+    repro fig5 --paper --cache-dir merged/
+
+    repro cache stats                      # what is in the cache
+    repro cache gc --max-bytes 500M        # LRU-trim to a size budget
+    repro cache gc --max-age 30d           # drop entries older than 30 days
+
+Simulation figures (fig5–fig10) and prototype figures (fig11–fig12)
+execute through the sweep runner: cells fan out over ``--jobs`` worker
+processes (default ``$REPRO_JOBS``, then serial; ``$REPRO_BACKEND``
+overrides the strategy) and completed cells persist in an on-disk cache
+(``--cache-dir``, default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so
+regenerating a figure, or a figure pair sharing a sweep, skips
+already-computed cells.  ``--shard K/N`` executes only this machine's
+deterministic slice and writes a shard manifest instead of rendering.
 Progress (cells completed, cache hits, ETA) streams to stderr; the
 artifact itself goes to stdout or ``--output``.
 """
@@ -26,13 +40,32 @@ artifact itself goes to stdout or ``--output``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import typing
 
-from repro.models.sweeps import SweepScale
+from repro.models.scenario import run_scenario
+from repro.models.sweeps import SweepScale, sweep_plan
 from repro.report import figures
-from repro.runner import ProgressPrinter, ResultCache, SweepRunner
-from repro.testbed.experiment import default_threshold_sweep
+from repro.runner import (
+    CacheLockedError,
+    MergeError,
+    ProgressPrinter,
+    ResultCache,
+    ShardBackend,
+    ShardSpec,
+    SweepRunner,
+    config_key,
+    default_backend,
+    merge_shards,
+    resolve_jobs,
+    write_shard_manifest,
+)
+from repro.testbed.experiment import (
+    PrototypeConfig,
+    default_threshold_sweep,
+    run_prototype,
+)
 
 #: Figures that accept a SweepScale.
 _SIM_FIGURES = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
@@ -40,14 +73,53 @@ _SIM_FIGURES = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
 _PROTO_FIGURES = {"fig11", "fig12"}
 
 
+def parse_size(text: str) -> int:
+    """Parse a byte size: plain bytes or K/M/G suffixed (``500M``)."""
+    raw = text.strip().upper()
+    factors = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    factor = 1
+    if raw and raw[-1] in factors:
+        factor = factors[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r}; expected e.g. 1048576, 512K, 500M, 2G"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("size must be non-negative")
+    return value * factor
+
+
+def parse_duration(text: str) -> float:
+    """Parse a duration: plain seconds or s/m/h/d suffixed (``30d``)."""
+    raw = text.strip().lower()
+    factors = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    factor = 1.0
+    if raw and raw[-1] in factors:
+        factor = factors[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad duration {text!r}; expected e.g. 3600, 90s, 30m, 12h, 7d"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("duration must be non-negative")
+    return value * factor
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests)."""
+    """The artifact-mode argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduce tables/figures of 'Improving Energy Conservation "
             "Using Bulk Transmission over High-Power Radios in Sensor "
-            "Networks' (ICDCS 2008)."
+            "Networks' (ICDCS 2008).  Also: repro merge-shards --help, "
+            "repro cache --help."
         ),
     )
     parser.add_argument(
@@ -106,6 +178,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk result cache for this invocation",
     )
     parser.add_argument(
+        "--shard",
+        type=str,
+        default=None,
+        metavar="K/N",
+        help=(
+            "execute only shard K of N of the figure's sweep (by config "
+            "hash), populate the cache and write a shard manifest instead "
+            "of rendering; assemble with 'repro merge-shards'"
+        ),
+    )
+    parser.add_argument(
         "--step",
         type=int,
         default=128,
@@ -139,8 +222,6 @@ def _scale_from_args(args: argparse.Namespace) -> SweepScale:
         changes["senders"] = tuple(args.senders)
     if args.bursts is not None:
         changes["bursts"] = tuple(args.bursts)
-    import dataclasses
-
     return dataclasses.replace(scale, **changes)
 
 
@@ -149,9 +230,10 @@ def _runner_from_args(
 ) -> SweepRunner:
     """Build the sweep runner the CLI flags describe.
 
-    Flag/environment mistakes (bad ``$REPRO_JOBS``, a cache dir that is a
-    file) exit cleanly here; ValueErrors raised later, during the sweep
-    itself, are internal failures and keep their tracebacks.
+    Flag/environment mistakes (bad ``$REPRO_JOBS``/``$REPRO_BACKEND``, a
+    cache dir that is a file) exit cleanly here; ValueErrors raised
+    later, during the sweep itself, are internal failures and keep their
+    tracebacks.
     """
     try:
         cache = None
@@ -162,6 +244,87 @@ def _runner_from_args(
         )
     except ValueError as error:
         raise SystemExit(f"repro: error: {error}")
+
+
+def _shard_configs(
+    artifact: str, args: argparse.Namespace
+) -> tuple[list[typing.Any], typing.Callable, typing.Callable]:
+    """The (configs, cell function, describe) a sharded artifact sweeps.
+
+    Laid out from the same declarative specs the figures render from
+    (:data:`repro.report.figures.SIM_SWEEPS`), so a shard run computes
+    exactly the cells a normal run of the figure would.
+    """
+    if artifact in _SIM_FIGURES:
+        spec = figures.SIM_SWEEPS[artifact]
+        plan = sweep_plan(
+            spec.case,
+            _scale_from_args(args),
+            rate_bps=spec.rate_bps,
+            include_wifi=spec.include_wifi,
+            include_sensor=spec.include_sensor,
+        )
+        return (
+            [planned.config for planned in plan],
+            run_scenario,
+            lambda index, _config: plan[index].describe(spec.case),
+        )
+    thresholds = default_threshold_sweep(step_bytes=args.step)
+    base = PrototypeConfig()
+    configs = [
+        dataclasses.replace(base, threshold_bytes=float(threshold))
+        for threshold in thresholds
+    ]
+    return (
+        configs,
+        run_prototype,
+        lambda _i, c: f"prototype threshold={c.threshold_bytes:g}B",
+    )
+
+
+def _render_shard(artifact: str, args: argparse.Namespace) -> str:
+    """Execute one shard of an artifact's sweep; returns the summary text."""
+    try:
+        spec = ShardSpec.parse(args.shard)
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+    if artifact not in _SIM_FIGURES | _PROTO_FIGURES:
+        raise SystemExit(
+            f"repro: error: --shard only applies to sweep figures "
+            f"(fig5..fig12), not {artifact}"
+        )
+    if args.no_cache:
+        raise SystemExit(
+            "repro: error: --shard requires the result cache (its output "
+            "IS the cache); drop --no-cache"
+        )
+    try:
+        cache = ResultCache(args.cache_dir)
+        backend = ShardBackend(spec, default_backend(resolve_jobs(args.jobs)))
+        runner = SweepRunner(
+            jobs=args.jobs,
+            cache=cache,
+            progress=ProgressPrinter(sys.stderr),
+            backend=backend,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: error: {error}")
+    configs, fn, describe = _shard_configs(artifact, args)
+    runner.map(fn, configs, describe=describe)
+    owned_keys = [
+        key for key in (config_key(c) for c in configs) if spec.owns(key)
+    ]
+    manifest = write_shard_manifest(
+        cache.directory, spec, owned_keys, artifact=artifact
+    )
+    return (
+        f"{artifact} shard {spec}: {len(owned_keys)}/{len(configs)} cells "
+        f"owned ({cache.stats.stores} computed, {cache.stats.hits} served "
+        f"from cache)\n"
+        f"manifest: {manifest}\n"
+        f"assemble with: repro merge-shards <dest> {cache.directory} "
+        f"<other shard dirs...>"
+    )
 
 
 def render_artifact(args: argparse.Namespace) -> str:
@@ -177,6 +340,8 @@ def render_artifact(args: argparse.Namespace) -> str:
         raise SystemExit(
             f"unknown artifact {artifact!r}; try 'repro list'"
         )
+    if args.shard is not None:
+        return _render_shard(artifact, args)
     if artifact in _SIM_FIGURES:
         scale = _scale_from_args(args)
         fn = getattr(figures, artifact)
@@ -184,23 +349,105 @@ def render_artifact(args: argparse.Namespace) -> str:
     if artifact in _PROTO_FIGURES:
         thresholds = default_threshold_sweep(step_bytes=args.step)
         fn = getattr(figures, artifact)
-        # Prototype measurements are not cached (the cache stores
-        # simulation RunResults); the runner still parallelizes points.
-        if args.cache_dir is not None:
-            print(
-                f"repro: note: --cache-dir is ignored for {artifact} "
-                "(prototype sweeps are not cached)",
-                file=sys.stderr,
-            )
-        return fn(
-            thresholds=thresholds,
-            runner=_runner_from_args(args, with_cache=False),
-        )
+        return fn(thresholds=thresholds, runner=_runner_from_args(args))
     return figures.REGISTRY[artifact]()
 
 
+# ---------------------------------------------------------------------------
+# merge-shards and cache subcommands.
+# ---------------------------------------------------------------------------
+
+
+def _merge_shards_main(argv: typing.Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro merge-shards",
+        description=(
+            "Assemble the cache directories of N shard runs into one "
+            "result set; refuses on any cache schema or package version "
+            "mismatch."
+        ),
+    )
+    parser.add_argument("dest", help="destination cache directory")
+    parser.add_argument(
+        "sources", nargs="+", help="shard cache directories to merge"
+    )
+    args = parser.parse_args(list(argv))
+    try:
+        report = merge_shards(args.dest, args.sources)
+    except MergeError as error:
+        print(f"repro: merge-shards: {error}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0
+
+
+def _cache_main(argv: typing.Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or garbage-collect the on-disk result cache.",
+    )
+    # --cache-dir lives on a shared parent so the natural flag order
+    # ('repro cache gc --cache-dir X') parses; top-level options after a
+    # subcommand would be 'unrecognized arguments' to argparse.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help=(
+            "cache directory (default $REPRO_CACHE_DIR, else ~/.cache/repro)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser(
+        "stats", parents=[common], help="inventory the cache directory"
+    )
+    gc = sub.add_parser(
+        "gc",
+        parents=[common],
+        help=(
+            "evict corrupted entries, then by age, then LRU down to a "
+            "size budget (takes the cache-dir lockfile; in-flight cells "
+            "of a concurrent sweep are skipped)"
+        ),
+    )
+    gc.add_argument(
+        "--max-bytes",
+        type=parse_size,
+        default=None,
+        help="LRU-evict oldest entries until the cache fits (e.g. 500M)",
+    )
+    gc.add_argument(
+        "--max-age",
+        type=parse_duration,
+        default=None,
+        help="evict entries not touched for this long (e.g. 30d, 12h)",
+    )
+    args = parser.parse_args(list(argv))
+    try:
+        cache = ResultCache(args.cache_dir)
+    except ValueError as error:
+        print(f"repro: cache: {error}", file=sys.stderr)
+        return 1
+    if args.command == "stats":
+        print(cache.disk_stats().summary())
+        return 0
+    try:
+        report = cache.gc(max_bytes=args.max_bytes, max_age_s=args.max_age)
+    except CacheLockedError as error:
+        print(f"repro: cache gc: {error}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0
+
+
 def main(argv: typing.Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point: artifacts, ``merge-shards``, or ``cache``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "merge-shards":
+        return _merge_shards_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     text = render_artifact(args)

@@ -137,6 +137,19 @@ class ScenarioConfig:
         """Copy with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
 
+    def cache_key(self) -> str:
+        """This cell's global identity: the sha256 config hash.
+
+        The same value names the cell's cache entry (``<key>.json``),
+        keys the progress of distributed runs, and decides which shard of
+        an N-machine sweep executes the cell
+        (:func:`repro.runner.shard.shard_index`) — identical on every
+        machine because it is derived purely from the config's contents.
+        """
+        from repro.runner.hashing import config_key
+
+        return config_key(self)
+
 
 def single_hop_config(**overrides: typing.Any) -> ScenarioConfig:
     """The paper's SH setup: Lucent 11 Mb/s with sensor-equal range."""

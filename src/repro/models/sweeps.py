@@ -73,6 +73,12 @@ class SweepCell:
         """Mean ± CI of the cell under the given energy accounting."""
         return summarize_runs(self.results, energy_key=energy_key)
 
+    def to_dicts(self) -> list[dict[str, typing.Any]]:
+        """The cell's runs in canonical serialized form (cache payloads)."""
+        from repro.runner.cache import result_to_dict
+
+        return [result_to_dict(result) for result in self.results]
+
 
 @dataclasses.dataclass
 class SweepData:
@@ -311,6 +317,35 @@ def run_sweep(
         n_runs=scale.n_runs,
         cells=cells,
     )
+
+
+def sweep_digest(sweep: SweepData) -> str:
+    """A stable sha256 over the sweep's full serialized result set.
+
+    Byte-identity is the contract the distributed machinery rests on:
+    serial, process-pool and merged-shard executions of the same plan
+    must serialize to the same bytes, so their digests must collide.  The
+    golden-trace determinism tests pin one such digest in-repo — any
+    semantic drift in the simulator, the result schema, or the float
+    round-tripping shows up as a loud digest mismatch.
+    """
+    import hashlib
+    import json
+
+    payload = {
+        "case": sweep.case,
+        "rate_bps": sweep.rate_bps,
+        "sim_time_s": sweep.sim_time_s,
+        "n_runs": sweep.n_runs,
+        "cells": {
+            label: {
+                str(n): cell.to_dicts() for n, cell in per_count.items()
+            }
+            for label, per_count in sweep.cells.items()
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def goodput_rows(sweep: SweepData) -> dict[str, dict[int, float]]:

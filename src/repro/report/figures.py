@@ -14,6 +14,7 @@ testbed.
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 from repro.analysis.burst_savings import fig4_savings_vs_burst, knee_burst_size
@@ -127,13 +128,58 @@ def fig4() -> str:
 # ---------------------------------------------------------------------------
 
 
+@dataclasses.dataclass(frozen=True)
+class SimSweep:
+    """The sweep one simulation figure consumes.
+
+    Declarative so the CLI's ``--shard`` mode can lay out the *same* plan
+    a figure would run (same case, rate and baselines → same configs →
+    same cache keys) without rendering anything.
+    """
+
+    case: str
+    rate_bps: float
+    include_wifi: bool = True
+    include_sensor: bool = True
+
+
+#: Figure id → the sweep it runs.  fig5/fig6 share one sweep, fig8/fig9
+#: another; the energy-delay figures (7/10) run the cheap dual-only
+#: matrix at 0.2 kb/s.
+SIM_SWEEPS: dict[str, SimSweep] = {
+    "fig5": SimSweep("SH", 2000.0),
+    "fig6": SimSweep("SH", 2000.0),
+    "fig7": SimSweep("SH", 200.0, include_wifi=False, include_sensor=False),
+    "fig8": SimSweep("MH", 2000.0),
+    "fig9": SimSweep("MH", 2000.0),
+    "fig10": SimSweep("MH", 200.0, include_wifi=False, include_sensor=False),
+}
+
+
+def run_figure_sweep(
+    artifact: str,
+    scale: SweepScale | None = None,
+    runner: SweepRunner | None = None,
+) -> SweepData:
+    """Run the sweep behind one simulation figure, per :data:`SIM_SWEEPS`."""
+    spec = SIM_SWEEPS[artifact]
+    return run_sweep(
+        spec.case,
+        scale,
+        rate_bps=spec.rate_bps,
+        include_wifi=spec.include_wifi,
+        include_sensor=spec.include_sensor,
+        runner=runner,
+    )
+
+
 def fig5(
     scale: SweepScale | None = None,
     sweep: SweepData | None = None,
     runner: SweepRunner | None = None,
 ) -> str:
     """Fig. 5: SH goodput vs number of senders."""
-    sweep = sweep or run_sweep("SH", scale, rate_bps=2000.0, runner=runner)
+    sweep = sweep or run_figure_sweep("fig5", scale, runner)
     return render_matrix(
         goodput_rows(sweep),
         x_label="senders",
@@ -148,7 +194,7 @@ def fig6(
     runner: SweepRunner | None = None,
 ) -> str:
     """Fig. 6: SH normalized energy (J/Kbit) vs number of senders."""
-    sweep = sweep or run_sweep("SH", scale, rate_bps=2000.0, runner=runner)
+    sweep = sweep or run_figure_sweep("fig6", scale, runner)
     return render_matrix(
         energy_rows(sweep),
         x_label="senders",
@@ -167,14 +213,7 @@ def fig7(
         scale = scale or SweepScale(
             bursts=(10, 100, 500), sim_time_s=1200.0, n_runs=1
         )
-        sweep = run_sweep(
-            "SH",
-            scale,
-            rate_bps=200.0,
-            include_wifi=False,
-            include_sensor=False,
-            runner=runner,
-        )
+        sweep = run_figure_sweep("fig7", scale, runner)
     series = []
     for n_senders, points in sorted(energy_delay_points(sweep).items()):
         series.append(
@@ -199,7 +238,7 @@ def fig8(
     runner: SweepRunner | None = None,
 ) -> str:
     """Fig. 8: MH goodput vs number of senders (2 kb/s)."""
-    sweep = sweep or run_sweep("MH", scale, rate_bps=2000.0, runner=runner)
+    sweep = sweep or run_figure_sweep("fig8", scale, runner)
     return render_matrix(
         goodput_rows(sweep),
         x_label="senders",
@@ -213,7 +252,7 @@ def fig9(
     runner: SweepRunner | None = None,
 ) -> str:
     """Fig. 9: MH normalized energy (J/Kbit) vs number of senders."""
-    sweep = sweep or run_sweep("MH", scale, rate_bps=2000.0, runner=runner)
+    sweep = sweep or run_figure_sweep("fig9", scale, runner)
     return render_matrix(
         energy_rows(sweep),
         x_label="senders",
@@ -231,14 +270,7 @@ def fig10(
         scale = scale or SweepScale(
             bursts=(10, 100, 500), sim_time_s=1200.0, n_runs=1
         )
-        sweep = run_sweep(
-            "MH",
-            scale,
-            rate_bps=200.0,
-            include_wifi=False,
-            include_sensor=False,
-            runner=runner,
-        )
+        sweep = run_figure_sweep("fig10", scale, runner)
     series = []
     for n_senders, points in sorted(energy_delay_points(sweep).items()):
         series.append(

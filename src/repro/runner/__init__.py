@@ -1,4 +1,4 @@
-"""Parallel sweep execution with persistent result caching.
+"""Parallel, shardable sweep execution with persistent result caching.
 
 The paper's evaluation is an embarrassingly-parallel matrix of independent
 ``(model, sender-count, seed)`` simulation cells.  This package executes
@@ -7,34 +7,84 @@ such matrices:
 * :mod:`~repro.runner.hashing` — stable content keys for scenario configs
   (dataclass → canonical JSON → sha256);
 * :mod:`~repro.runner.cache` — an on-disk :class:`ResultCache` keyed by
-  those hashes, so repeated figure regenerations and CI runs skip cells
-  they have already computed;
-* :mod:`~repro.runner.executor` — :class:`SweepRunner`, which fans cells
-  out over a ``ProcessPoolExecutor`` (``--jobs N`` / ``REPRO_JOBS``,
-  default serial) while preserving input order and determinism;
+  those hashes (simulation *and* prototype results), with GC
+  (:meth:`ResultCache.gc` — corruption, age, LRU-by-size under a
+  cache-dir lockfile) and inventory stats;
+* :mod:`~repro.runner.backends` — the pluggable :class:`Backend` protocol
+  and its local strategies, :class:`SerialBackend` and
+  :class:`ProcessBackend` (``--jobs N`` / ``$REPRO_JOBS``;
+  ``$REPRO_BACKEND`` overrides globally);
+* :mod:`~repro.runner.shard` — :class:`ShardBackend`, deterministic
+  ``shard K of N`` partitioning of a sweep across machines by config
+  hash, shard manifests, and :func:`merge_shards` to assemble the
+  machines' cache directories into one result set;
+* :mod:`~repro.runner.executor` — :class:`SweepRunner`, the
+  cache-and-progress coordinator that drives whichever backend;
 * :mod:`~repro.runner.progress` — per-cell :class:`ProgressEvent` stream
   (cells completed, cache hits, ETA) for CLI reporting.
 
 Determinism: every stochastic choice in the simulator derives from the
 config's own ``seed`` via named RNG streams (:mod:`repro.sim.rng`), so a
-cell's result is a pure function of its config.  Parallel and serial
-execution therefore produce byte-identical results, and a config hash is a
-sound cache key.
+cell's result is a pure function of its config.  Serial, process-pool and
+sharded execution therefore produce byte-identical results (the
+golden-trace tests pin a digest of them), and a config hash is a sound
+cache key on any machine.
 """
 
-from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.backends import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    default_backend,
+    parse_backend,
+)
+from repro.runner.cache import (
+    CacheDirLock,
+    CacheLockedError,
+    GcReport,
+    ResultCache,
+    default_cache_dir,
+    register_result_type,
+    results_digest,
+)
 from repro.runner.executor import SweepRunner, resolve_jobs, runner_from_env
 from repro.runner.hashing import canonical_json, config_key
 from repro.runner.progress import ProgressEvent, ProgressPrinter
+from repro.runner.shard import (
+    MergeError,
+    MergeReport,
+    ShardBackend,
+    ShardSpec,
+    merge_shards,
+    shard_index,
+    write_shard_manifest,
+)
 
 __all__ = [
+    "Backend",
+    "CacheDirLock",
+    "CacheLockedError",
+    "GcReport",
+    "MergeError",
+    "MergeReport",
+    "ProcessBackend",
     "ProgressEvent",
     "ProgressPrinter",
     "ResultCache",
+    "SerialBackend",
+    "ShardBackend",
+    "ShardSpec",
     "SweepRunner",
     "canonical_json",
     "config_key",
+    "default_backend",
     "default_cache_dir",
+    "merge_shards",
+    "parse_backend",
+    "register_result_type",
     "resolve_jobs",
+    "results_digest",
     "runner_from_env",
+    "shard_index",
+    "write_shard_manifest",
 ]

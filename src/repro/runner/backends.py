@@ -1,0 +1,216 @@
+"""Pluggable execution backends for the sweep runner.
+
+A *backend* is the strategy that turns a batch of pending cells into
+results: in-process serial execution, a local process pool, or a
+deterministic shard of a larger multi-machine run
+(:class:`~repro.runner.shard.ShardBackend`).  The
+:class:`~repro.runner.executor.SweepRunner` owns everything strategy-
+independent — cache lookups, cache stores, progress events, result
+ordering — and delegates only the "execute these indices" step, so a new
+backend (asyncio, a cluster scheduler, ...) is one small class away.
+
+The contract, precisely:
+
+* ``execute(fn, configs, pending, complete)`` receives the *full* config
+  batch plus ``pending``, the indices whose results are not already known
+  (cache hits never reach a backend).
+* The backend calls ``complete(index, fn(configs[index]))`` exactly once
+  for every pending index it executes, **from the coordinating process**
+  (never from a worker), in any order it likes.  The runner handles cache
+  stores and progress there.
+* A backend may legitimately execute a *subset* of ``pending`` — that is
+  how sharding works — but must never execute an index outside it.
+* ``fn`` is a pure function of its config (see :mod:`repro.sim.rng`), so
+  *which* backend ran a cell can never change its result — the
+  determinism tests pin this down byte-for-byte.
+
+Backends that cross a process boundary additionally require ``fn`` to be
+a module-level (picklable) function and configs to be picklable
+dataclasses, which :func:`~repro.models.scenario.run_scenario` /
+:class:`~repro.models.scenario.ScenarioConfig` and
+:func:`~repro.testbed.experiment.run_prototype` /
+:class:`~repro.testbed.experiment.PrototypeConfig` all satisfy.
+
+``$REPRO_BACKEND`` overrides the default choice globally (CI runs the
+test suite once per backend this way): ``serial``, ``process`` or
+``process:N``.  Shard backends are deliberately *not* selectable through
+the environment: every full-batch consumer (``run_sweep``, the figures)
+expects a complete result list, and an env-injected shard would silently
+hand it ``None`` holes.  Sharding is always an explicit choice — the
+CLI's ``--shard K/N`` or a :class:`~repro.runner.shard.ShardBackend`
+constructed in code.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import typing
+
+#: Environment variable selecting the default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Callback the runner hands to a backend: ``complete(index, result)``.
+CompleteFn = typing.Callable[[int, typing.Any], None]
+
+
+class Backend(typing.Protocol):
+    """What the :class:`~repro.runner.executor.SweepRunner` needs.
+
+    Attributes
+    ----------
+    name:
+        Short human-readable identifier (``"serial"``, ``"process:4"``,
+        ``"shard:0/2"``), used in progress lines and error messages.
+    requires_cache:
+        ``True`` when the backend intentionally leaves some pending cells
+        unexecuted (sharding), so running it without a result cache would
+        silently discard work.  The runner refuses that combination.
+    """
+
+    name: str
+    requires_cache: bool
+
+    def execute(
+        self,
+        fn: typing.Callable[[typing.Any], typing.Any],
+        configs: typing.Sequence[typing.Any],
+        pending: typing.Sequence[int],
+        complete: CompleteFn,
+    ) -> None:
+        """Run (a backend-chosen subset of) the pending cells.
+
+        Must invoke ``complete(index, result)`` once per executed index,
+        from the calling process.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class SerialBackend:
+    """In-process, in-order execution — the debuggable reference backend.
+
+    Bit-identical to the pre-runner code path: no pickling, no worker
+    processes, exceptions propagate with their original tracebacks.
+    """
+
+    name = "serial"
+    requires_cache = False
+
+    def execute(
+        self,
+        fn: typing.Callable[[typing.Any], typing.Any],
+        configs: typing.Sequence[typing.Any],
+        pending: typing.Sequence[int],
+        complete: CompleteFn,
+    ) -> None:
+        for index in pending:
+            complete(index, fn(configs[index]))
+
+
+class ProcessBackend:
+    """Fan pending cells over a local ``ProcessPoolExecutor``.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 0 (or negative) means all cores.  A single
+        pending cell is run in-process — a pool spawn costs more than the
+        cell.
+
+    Results complete in whatever order workers finish; the runner's
+    result list restores input order, so output is byte-identical to
+    :class:`SerialBackend`.
+    """
+
+    requires_cache = False
+
+    def __init__(self, jobs: int):
+        if jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+
+    @property
+    def name(self) -> str:
+        return f"process:{self.jobs}"
+
+    def execute(
+        self,
+        fn: typing.Callable[[typing.Any], typing.Any],
+        configs: typing.Sequence[typing.Any],
+        pending: typing.Sequence[int],
+        complete: CompleteFn,
+    ) -> None:
+        if len(pending) <= 1:
+            for index in pending:
+                complete(index, fn(configs[index]))
+            return
+        workers = min(self.jobs, len(pending))
+        pool = concurrent.futures.ProcessPoolExecutor(workers)
+        try:
+            futures = {
+                pool.submit(fn, configs[index]): index for index in pending
+            }
+            for future in concurrent.futures.as_completed(futures):
+                complete(futures[future], future.result())
+        except BaseException:
+            # On Ctrl-C (or a failed cell) drop the queued cells instead
+            # of draining them — a paper-scale sweep queues thousands.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown()
+
+
+def parse_backend(spec: str, jobs: int = 1) -> "Backend":
+    """Build a backend from its string form.
+
+    Accepted forms (case-insensitive): ``serial``, ``process``,
+    ``process:N``, ``shard:K/N``.  ``process`` without a count uses
+    ``jobs`` workers (at least 2 — an explicit process backend that ran
+    serially would defeat the point); ``shard:K/N`` wraps the serial or
+    process backend ``jobs`` implies.
+    """
+    raw = spec.strip().lower()
+    if raw == "serial":
+        return SerialBackend()
+    if raw == "process":
+        return ProcessBackend(max(jobs, 2))
+    if raw.startswith("process:"):
+        count = raw.split(":", 1)[1]
+        try:
+            return ProcessBackend(int(count))
+        except ValueError:
+            raise ValueError(
+                f"bad process worker count {count!r} in backend {spec!r}"
+            ) from None
+    if raw.startswith("shard:"):
+        from repro.runner.shard import ShardBackend, ShardSpec
+
+        inner = ProcessBackend(jobs) if jobs > 1 else SerialBackend()
+        return ShardBackend(ShardSpec.parse(raw.split(":", 1)[1]), inner)
+    raise ValueError(
+        f"unknown backend {spec!r}; expected serial, process[:N] or "
+        "shard:K/N"
+    )
+
+
+def default_backend(jobs: int) -> "Backend":
+    """The backend ``jobs`` implies, unless ``$REPRO_BACKEND`` overrides.
+
+    Without the override this preserves the historic behavior exactly:
+    ``jobs <= 1`` is serial, more fans out over a process pool.  Shard
+    specs are refused here: a sweep that expects full results would get
+    ``None`` holes from an env-injected shard (use ``--shard K/N`` or
+    construct a ``ShardBackend`` explicitly instead).
+    """
+    raw = os.environ.get(BACKEND_ENV, "").strip()
+    if raw:
+        if raw.lower().startswith("shard:"):
+            raise ValueError(
+                f"${BACKEND_ENV} cannot select a shard backend (full-batch "
+                "sweeps would silently lose the skipped cells); use the "
+                "CLI's --shard K/N instead"
+            )
+        return parse_backend(raw, jobs)
+    if jobs > 1:
+        return ProcessBackend(jobs)
+    return SerialBackend()

@@ -1,24 +1,34 @@
-"""The sweep executor: cache-aware, optionally parallel cell execution.
+"""The sweep executor: cache-aware cell execution over pluggable backends.
 
 :class:`SweepRunner` maps a pure function over a batch of configs.  The
-default is strictly serial (in-process, debuggable, bit-identical to the
-pre-runner code path); ``jobs > 1`` fans the batch out over a
-``ProcessPoolExecutor``.  Because every cell's result is a pure function
-of its config (see :mod:`repro.sim.rng` — all randomness derives from the
-config's own seed), parallel execution changes wall-clock time only, never
-results, and results can be cached across processes and sessions.
+strategy-independent parts live here — cache lookups and stores, progress
+events, result ordering — while the actual execution is delegated to a
+:class:`~repro.runner.backends.Backend`:
 
-Worker functions must be module-level (picklable) and configs must be
-dataclasses, which :func:`~repro.models.scenario.run_scenario` and
-:class:`~repro.models.scenario.ScenarioConfig` satisfy.
+* :class:`~repro.runner.backends.SerialBackend` — in-process, in-order,
+  bit-identical to the pre-runner code path (the default for ``jobs=1``);
+* :class:`~repro.runner.backends.ProcessBackend` — a local
+  ``ProcessPoolExecutor`` fan-out (``jobs > 1``);
+* :class:`~repro.runner.shard.ShardBackend` — one machine's deterministic
+  slice of a multi-machine run (requires a cache; see
+  :mod:`repro.runner.shard`).
+
+Because every cell's result is a pure function of its config (see
+:mod:`repro.sim.rng` — all randomness derives from the config's own
+seed), the backend changes wall-clock time only, never results, and
+results can be cached across processes, sessions and machines.
+
+Process-crossing backends need ``fn`` to be module-level (picklable) and
+configs to be dataclasses, which :func:`~repro.models.scenario.run_scenario`
+and :class:`~repro.models.scenario.ScenarioConfig` satisfy.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import os
 import typing
 
+from repro.runner.backends import Backend, default_backend
 from repro.runner.cache import CACHE_DIR_ENV, ResultCache
 from repro.runner.progress import ProgressEvent, ProgressTracker
 
@@ -57,12 +67,19 @@ class SweepRunner:
     ----------
     jobs:
         Worker processes; 1 (the default) runs serial and in-process,
-        ``None`` reads ``$REPRO_JOBS``, and 0 means all cores.
+        ``None`` reads ``$REPRO_JOBS``, and 0 means all cores.  Ignored
+        when ``backend`` is given explicitly.
     cache:
         Optional :class:`ResultCache`; hits skip execution entirely.
     progress:
         Optional callback receiving one :class:`ProgressEvent` per
         finished cell.
+    backend:
+        Execution strategy.  Defaults to what ``jobs`` implies (serial
+        or process pool), overridable globally via ``$REPRO_BACKEND``.
+        Backends that execute only a slice of the batch (sharding)
+        require a cache — the runner refuses them without one, since the
+        skipped cells' results would be silently lost.
     """
 
     def __init__(
@@ -70,8 +87,17 @@ class SweepRunner:
         jobs: int | None = 1,
         cache: ResultCache | None = None,
         progress: typing.Callable[[ProgressEvent], None] | None = None,
+        backend: Backend | None = None,
     ):
         self.jobs = resolve_jobs(jobs)
+        self.backend = (
+            backend if backend is not None else default_backend(self.jobs)
+        )
+        if self.backend.requires_cache and cache is None:
+            raise ValueError(
+                f"backend {self.backend.name!r} executes only a slice of "
+                "each batch and therefore requires a result cache"
+            )
         self.cache = cache
         self.progress = progress
 
@@ -84,10 +110,13 @@ class SweepRunner:
     ) -> list[ResultT]:
         """Run ``fn`` over ``configs``, returning results in input order.
 
-        Cached cells are served without executing ``fn``; the rest run
-        serially or across the worker pool.  Either way the returned list
-        lines up index-for-index with ``configs``.  ``progress`` receives
-        this batch's events in addition to the runner's own sink.
+        Cached cells are served without executing ``fn``; the rest go to
+        the backend.  Either way the returned list lines up
+        index-for-index with ``configs``.  Under a sharding backend the
+        slots of out-of-shard, uncached cells are ``None`` — the product
+        of such a run is its cache entries, not the returned list.
+        ``progress`` receives this batch's events in addition to the
+        runner's own sink.
         """
         if describe is None:
             describe = lambda index, _config: f"cell {index}"  # noqa: E731
@@ -108,44 +137,14 @@ class SweepRunner:
             else:
                 pending.append(index)
 
-        if self.jobs <= 1 or len(pending) <= 1:
-            for index in pending:
-                results[index] = self._finish(
-                    fn, configs, index, fn(configs[index]), describe, tracker
-                )
-        else:
-            workers = min(self.jobs, len(pending))
-            pool = concurrent.futures.ProcessPoolExecutor(workers)
-            try:
-                futures = {
-                    pool.submit(fn, configs[index]): index for index in pending
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    index = futures[future]
-                    results[index] = self._finish(
-                        fn, configs, index, future.result(), describe, tracker
-                    )
-            except BaseException:
-                # On Ctrl-C (or a failed cell) drop the queued cells instead
-                # of draining them — a paper-scale sweep queues thousands.
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
-            pool.shutdown()
-        return typing.cast("list[ResultT]", results)
+        def complete(index: int, result: typing.Any) -> None:
+            results[index] = typing.cast(ResultT, result)
+            if self.cache is not None:
+                self.cache.put(configs[index], result)
+            tracker.cell_done(index, describe(index, configs[index]), cached=False)
 
-    def _finish(
-        self,
-        fn: typing.Callable[[ConfigT], ResultT],
-        configs: typing.Sequence[ConfigT],
-        index: int,
-        result: ResultT,
-        describe: typing.Callable[[int, ConfigT], str],
-        tracker: ProgressTracker,
-    ) -> ResultT:
-        if self.cache is not None:
-            self.cache.put(configs[index], result)
-        tracker.cell_done(index, describe(index, configs[index]), cached=False)
-        return result
+        self.backend.execute(fn, configs, pending, complete)
+        return typing.cast("list[ResultT]", results)
 
 
 def runner_from_env(
@@ -153,7 +152,8 @@ def runner_from_env(
 ) -> SweepRunner:
     """A runner configured purely from the environment.
 
-    ``$REPRO_JOBS`` picks the worker count (default serial) and, when
+    ``$REPRO_JOBS`` picks the worker count (default serial),
+    ``$REPRO_BACKEND`` overrides the execution strategy, and, when
     ``$REPRO_CACHE_DIR`` is set, results persist there; without it no disk
     cache is used.  This is what the benchmark suite builds, so local runs
     get the speedup by exporting two variables and CI stays hermetic.

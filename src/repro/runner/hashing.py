@@ -24,7 +24,9 @@ import typing
 
 #: Bump to invalidate every existing cache entry (result format changes,
 #: semantic changes to the simulator that keep configs identical, ...).
-CACHE_SCHEMA_VERSION = 1
+#: v2: entries carry a ``result_type`` tag (the cache now stores
+#: prototype measurements alongside simulation results).
+CACHE_SCHEMA_VERSION = 2
 
 
 def _canonicalize(value: typing.Any) -> typing.Any:

@@ -27,6 +27,7 @@ import math
 import typing
 
 from repro.energy.radio_specs import LUCENT_11, RadioSpec
+from repro.runner.cache import register_result_type
 from repro.sim.simulator import Simulator
 from repro.testbed import eventlog
 from repro.testbed.accounting import EnergyBreakdown, account_experiment
@@ -104,6 +105,32 @@ class PrototypeResult:
     messages_delivered: int
     dual_breakdown: EnergyBreakdown
     duration_s: float
+
+
+def prototype_result_to_dict(result: PrototypeResult) -> dict[str, typing.Any]:
+    """Serialize a :class:`PrototypeResult` to plain JSON-encodable data."""
+    return dataclasses.asdict(result)
+
+
+def prototype_result_from_dict(
+    data: dict[str, typing.Any]
+) -> PrototypeResult:
+    """Rebuild a :class:`PrototypeResult`; raises on unknown fields."""
+    field_names = {f.name for f in dataclasses.fields(PrototypeResult)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ValueError(f"unknown PrototypeResult fields: {sorted(unknown)}")
+    data = dict(data)
+    data["dual_breakdown"] = EnergyBreakdown(**data["dual_breakdown"])
+    return PrototypeResult(**data)
+
+
+# Threshold sweeps run through the same runner/cache machinery as the
+# simulation matrix: a PrototypeConfig is a pure dataclass, a run is a
+# pure function of it, so cached prototype points are sound.
+register_result_type(
+    PrototypeResult, prototype_result_to_dict, prototype_result_from_dict
+)
 
 
 def _dual_run(config: PrototypeConfig) -> tuple[EventLog, list[float], int, float]:
@@ -204,19 +231,15 @@ def sweep_thresholds(
     """Run the prototype across a threshold sweep (the Fig. 11/12 x-axis).
 
     Each threshold point is an independent deterministic run, so the sweep
-    accepts a :class:`~repro.runner.SweepRunner` (without a result cache —
-    the cache stores simulation :class:`~repro.stats.metrics.RunResult`
-    records, not prototype measurements) to fan points over worker
-    processes.  The default serial runner matches in-process execution.
+    accepts a :class:`~repro.runner.SweepRunner` to fan points over worker
+    processes, serve them from the on-disk result cache (prototype
+    measurements cache exactly like simulation results — a warm cache
+    recomputes nothing), or execute one shard of a multi-machine sweep.
+    The default serial runner matches in-process execution.
     """
     from repro.runner.executor import SweepRunner
 
     runner = runner or SweepRunner()
-    if runner.cache is not None:
-        raise ValueError(
-            "sweep_thresholds does not support result caching; pass a "
-            "SweepRunner(cache=None)"
-        )
     base = base_config or PrototypeConfig()
     configs = [
         dataclasses.replace(base, threshold_bytes=float(threshold))

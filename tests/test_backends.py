@@ -1,0 +1,173 @@
+"""The pluggable backend layer: protocol, parsing, env selection."""
+
+import pytest
+
+from repro.models.scenario import ScenarioConfig, run_scenario
+from repro.runner import (
+    ProcessBackend,
+    ResultCache,
+    SerialBackend,
+    ShardBackend,
+    ShardSpec,
+    SweepRunner,
+    default_backend,
+    parse_backend,
+)
+from repro.runner.backends import BACKEND_ENV
+
+TINY = ScenarioConfig(
+    rows=3, cols=3, sink=4, n_senders=2, sim_time_s=10.0, burst_packets=10
+)
+CONFIGS = [TINY.replace(seed=seed) for seed in (1, 2, 3)]
+
+
+def collect(backend, fn, configs, pending=None):
+    """Drive a backend directly, the way the runner does."""
+    results = {}
+    backend.execute(
+        fn,
+        configs,
+        list(range(len(configs))) if pending is None else pending,
+        lambda index, result: results.__setitem__(index, result),
+    )
+    return results
+
+
+class TestSerialBackend:
+    def test_executes_in_order(self):
+        seen = []
+
+        def fn(config):
+            seen.append(config.seed)
+            return config.seed * 10
+
+        results = collect(SerialBackend(), fn, CONFIGS)
+        assert seen == [1, 2, 3]
+        assert results == {0: 10, 1: 20, 2: 30}
+
+    def test_respects_pending_subset(self):
+        results = collect(
+            SerialBackend(), lambda c: c.seed, CONFIGS, pending=[2]
+        )
+        assert results == {2: 3}
+
+    def test_name(self):
+        assert SerialBackend().name == "serial"
+        assert not SerialBackend().requires_cache
+
+
+class TestProcessBackend:
+    def test_matches_serial_byte_for_byte(self):
+        serial = collect(SerialBackend(), run_scenario, CONFIGS)
+        process = collect(ProcessBackend(2), run_scenario, CONFIGS)
+        assert process == serial
+
+    def test_single_pending_cell_runs_in_process(self):
+        # One cell costs less than a pool spawn; the backend shortcuts.
+        seen = []
+
+        def local_closure(config):  # unpicklable on purpose
+            seen.append(config.seed)
+            return config.seed
+
+        results = collect(ProcessBackend(4), local_closure, CONFIGS, [1])
+        assert results == {1: 2}
+        assert seen == [2]
+
+    def test_zero_jobs_means_all_cores(self):
+        assert ProcessBackend(0).jobs >= 1
+
+    def test_name_carries_worker_count(self):
+        assert ProcessBackend(3).name == "process:3"
+
+
+class TestParseBackend:
+    def test_serial(self):
+        assert isinstance(parse_backend("serial"), SerialBackend)
+        assert isinstance(parse_backend(" SERIAL "), SerialBackend)
+
+    def test_process_defaults_to_at_least_two_workers(self):
+        backend = parse_backend("process", jobs=1)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.jobs == 2
+        assert parse_backend("process", jobs=6).jobs == 6
+
+    def test_process_with_explicit_count(self):
+        assert parse_backend("process:5").jobs == 5
+
+    def test_shard_wraps_jobs_backend(self):
+        backend = parse_backend("shard:1/3", jobs=1)
+        assert isinstance(backend, ShardBackend)
+        assert backend.spec == ShardSpec(1, 3)
+        assert isinstance(backend.inner, SerialBackend)
+        parallel = parse_backend("shard:0/2", jobs=4)
+        assert isinstance(parallel.inner, ProcessBackend)
+        assert parallel.inner.jobs == 4
+
+    def test_garbage_rejected(self):
+        for bad in ("cluster", "process:many", "shard:x/y", "shard:3"):
+            with pytest.raises(ValueError):
+                parse_backend(bad)
+
+
+class TestDefaultBackend:
+    def test_jobs_imply_backend(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert isinstance(default_backend(1), SerialBackend)
+        fanned = default_backend(4)
+        assert isinstance(fanned, ProcessBackend)
+        assert fanned.jobs == 4
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "serial")
+        assert isinstance(default_backend(8), SerialBackend)
+        monkeypatch.setenv(BACKEND_ENV, "process:3")
+        assert default_backend(1).jobs == 3
+
+    def test_runner_uses_env_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "serial")
+        assert isinstance(SweepRunner(jobs=8).backend, SerialBackend)
+
+    def test_env_cannot_inject_shard_backend(self, monkeypatch):
+        # A full-batch sweep (run_sweep, the figures) expects a complete
+        # result list; an env-injected shard would hand it None holes.
+        monkeypatch.setenv(BACKEND_ENV, "shard:0/2")
+        with pytest.raises(ValueError, match="--shard"):
+            default_backend(1)
+        with pytest.raises(ValueError, match="--shard"):
+            SweepRunner()
+
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process:3")
+        runner = SweepRunner(backend=SerialBackend())
+        assert isinstance(runner.backend, SerialBackend)
+
+
+class TestRunnerBackendIntegration:
+    def test_shard_backend_requires_cache(self):
+        with pytest.raises(ValueError, match="requires a result cache"):
+            SweepRunner(backend=ShardBackend(ShardSpec(0, 2)))
+
+    def test_shard_backend_with_cache_accepted(self, tmp_path):
+        runner = SweepRunner(
+            cache=ResultCache(tmp_path),
+            backend=ShardBackend(ShardSpec(0, 2)),
+        )
+        assert runner.backend.requires_cache
+
+    def test_all_backends_agree(self, tmp_path):
+        serial = SweepRunner(backend=SerialBackend()).map(run_scenario, CONFIGS)
+        process = SweepRunner(backend=ProcessBackend(2)).map(
+            run_scenario, CONFIGS
+        )
+        assert process == serial
+        cache = ResultCache(tmp_path)
+        for index in range(2):
+            SweepRunner(
+                cache=cache,
+                backend=ShardBackend(ShardSpec(index, 2)),
+            ).map(run_scenario, CONFIGS)
+        merged = SweepRunner(cache=ResultCache(tmp_path)).map(
+            run_scenario, CONFIGS
+        )
+        assert merged == serial

@@ -1,0 +1,261 @@
+"""Cache garbage collection: eviction policies, locking, concurrency."""
+
+import dataclasses
+import json
+import os
+import time
+
+import pytest
+
+from repro.runner import (
+    CacheDirLock,
+    CacheLockedError,
+    ResultCache,
+    write_shard_manifest,
+)
+from repro.runner.shard import ShardSpec
+from repro.stats.metrics import RunResult
+
+
+@dataclasses.dataclass
+class Cfg:
+    """A minimal config standing in for a scenario (no simulation runs)."""
+
+    seed: int = 1
+
+
+def fake_result(seed: int = 1) -> RunResult:
+    return RunResult(
+        model="dual",
+        sim_time_s=10.0,
+        generated_bits=100.0,
+        delivered_bits=float(seed),
+        mean_delay_s=0.1,
+        max_delay_s=0.2,
+        energy_j={"total": 1.0},
+    )
+
+
+def put_aged(cache: ResultCache, seed: int, age_s: float, now: float):
+    """Store an entry and backdate its mtime ``age_s`` before ``now``."""
+    path = cache.put(Cfg(seed), fake_result(seed))
+    os.utime(path, times=(now - age_s, now - age_s))
+    return path
+
+
+class TestGcPolicies:
+    def test_noop_on_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        report = cache.gc(max_bytes=0)
+        assert report.scanned == 0
+        assert report.evicted == 0
+
+    def test_corrupt_entries_evicted(self, tmp_path):
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        keep = put_aged(cache, 1, age_s=300.0, now=now)
+        rot = put_aged(cache, 2, age_s=300.0, now=now)
+        rot.write_text("{ definitely not json")
+        os.utime(rot, times=(now - 300.0, now - 300.0))
+        stale = put_aged(cache, 3, age_s=300.0, now=now)
+        entry = json.loads(stale.read_text())
+        entry["schema"] = -1
+        stale.write_text(json.dumps(entry))
+        os.utime(stale, times=(now - 300.0, now - 300.0))
+        report = cache.gc(now=now)
+        assert report.evicted_corrupt == 2
+        assert keep.exists()
+        assert not rot.exists() and not stale.exists()
+
+    def test_max_age_evicts_old_entries_only(self, tmp_path):
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        old = put_aged(cache, 1, age_s=10 * 86400.0, now=now)
+        young = put_aged(cache, 2, age_s=3600.0, now=now)
+        report = cache.gc(max_age_s=7 * 86400.0, now=now)
+        assert report.evicted_expired == 1
+        assert not old.exists()
+        assert young.exists()
+
+    def test_max_bytes_evicts_lru_order(self, tmp_path):
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        oldest = put_aged(cache, 1, age_s=4000.0, now=now)
+        middle = put_aged(cache, 2, age_s=3000.0, now=now)
+        newest = put_aged(cache, 3, age_s=2000.0, now=now)
+        size = newest.stat().st_size
+        # Budget for roughly one entry: the two oldest must go, newest stays.
+        report = cache.gc(max_bytes=size + 10, now=now)
+        assert report.evicted_lru == 2
+        assert not oldest.exists() and not middle.exists()
+        assert newest.exists()
+        assert report.bytes_after <= size + 10
+
+    def test_zero_budget_clears_all_settled_entries(self, tmp_path):
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        for seed in range(4):
+            put_aged(cache, seed, age_s=600.0, now=now)
+        report = cache.gc(max_bytes=0, now=now)
+        assert report.evicted_lru == 4
+        assert len(cache) == 0
+
+    def test_inflight_entries_skipped_by_every_policy(self, tmp_path):
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        inflight = put_aged(cache, 1, age_s=1.0, now=now)
+        fresh_corrupt = put_aged(cache, 2, age_s=1.0, now=now)
+        fresh_corrupt.write_text("garbage")
+        os.utime(fresh_corrupt, times=(now - 1.0, now - 1.0))
+        report = cache.gc(max_bytes=0, max_age_s=0.0, now=now)
+        assert report.skipped_inflight == 2
+        assert report.evicted == 0
+        assert inflight.exists() and fresh_corrupt.exists()
+
+    def test_grace_zero_disables_inflight_protection(self, tmp_path):
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        put_aged(cache, 1, age_s=1.0, now=now)
+        report = cache.gc(max_bytes=0, grace_s=0.0, now=now)
+        assert report.evicted_lru == 1
+        assert len(cache) == 0
+
+    def test_manifests_and_lock_survive_gc(self, tmp_path):
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        put_aged(cache, 1, age_s=600.0, now=now)
+        manifest = write_shard_manifest(tmp_path, ShardSpec(0, 2), ["ab" * 32])
+        cache.gc(max_bytes=0, now=now)
+        assert manifest.exists()
+        assert not (tmp_path / "gc.lock").exists()  # released afterwards
+
+    def test_stale_tmp_files_removed_and_counted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        stale = tmp_path / "deadbeef.tmp99"
+        stale.write_text("orphan")
+        os.utime(stale, times=(0, 0))
+        report = cache.gc()
+        assert report.tmp_removed == 1
+        assert not stale.exists()
+
+
+class TestGcLocking:
+    def test_locked_gc_refuses_and_touches_nothing(self, tmp_path):
+        """A held lock (another GC mid-pass) means: skip, leave cells alone."""
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        entry = put_aged(cache, 1, age_s=600.0, now=now)
+        with CacheDirLock(tmp_path):
+            with pytest.raises(CacheLockedError):
+                cache.gc(max_bytes=0, now=now)
+        assert entry.exists()
+
+    def test_sweep_writes_proceed_while_gc_lock_held(self, tmp_path):
+        # Sweeps never take the lock: their writes are atomic and the
+        # grace window keeps GC off their fresh cells.
+        cache = ResultCache(tmp_path)
+        with CacheDirLock(tmp_path):
+            cache.put(Cfg(1), fake_result(1))
+        assert cache.get(Cfg(1)) == fake_result(1)
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        lock_file = tmp_path / "gc.lock"
+        lock_file.write_text("{}")
+        os.utime(lock_file, times=(0, 0))  # epoch-old: holder is long dead
+        cache = ResultCache(tmp_path)
+        report = cache.gc()  # must not raise
+        assert report.scanned == 0
+        assert not lock_file.exists()
+
+    def test_lock_release_is_idempotent(self, tmp_path):
+        lock = CacheDirLock(tmp_path)
+        lock.acquire()
+        lock.release()
+        lock.release()
+        assert not (tmp_path / "gc.lock").exists()
+
+
+class TestGcConcurrency:
+    def test_entry_vanishing_mid_scan_tolerated(self, tmp_path, monkeypatch):
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        kept = put_aged(cache, 1, age_s=600.0, now=now)
+        ghost = put_aged(cache, 2, age_s=600.0, now=now)
+        real_paths = cache._entry_paths()
+        ghost.unlink()  # concurrent writer/GC removed it between scan & stat
+        monkeypatch.setattr(cache, "_entry_paths", lambda: real_paths)
+        report = cache.gc(now=now)
+        assert report.scanned == 1  # the ghost is silently skipped
+        assert kept.exists()
+
+    def test_concurrent_writer_during_lru_pass(self, tmp_path, monkeypatch):
+        """Files a writer replaces mid-pass must not break the byte budget."""
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        doomed = put_aged(cache, 1, age_s=4000.0, now=now)
+        put_aged(cache, 2, age_s=300.0, now=now)
+        original_remove = ResultCache._remove
+
+        def racing_remove(path):
+            if path == doomed:
+                path.unlink()  # another process got there first
+                return False
+            return original_remove(path)
+
+        monkeypatch.setattr(ResultCache, "_remove", staticmethod(racing_remove))
+        report = cache.gc(max_bytes=0, now=now)
+        # the racing removal is not double-counted as freed by this pass
+        assert report.evicted_lru == 1
+        assert len(cache) == 0
+
+
+class TestDiskStats:
+    def test_inventory_counts_types_and_ages(self, tmp_path):
+        now = time.time()
+        cache = ResultCache(tmp_path)
+        put_aged(cache, 1, age_s=500.0, now=now)
+        put_aged(cache, 2, age_s=100.0, now=now)
+        bad = put_aged(cache, 3, age_s=100.0, now=now)
+        bad.write_text("junk")
+        write_shard_manifest(tmp_path, ShardSpec(0, 2), [])
+        stats = cache.disk_stats(now=now)
+        assert stats.entries == 2
+        assert stats.by_type == {"RunResult": 2}
+        assert stats.corrupt == 1
+        assert stats.manifests == 1
+        assert stats.oldest_age_s == pytest.approx(500.0, abs=5.0)
+        assert stats.newest_age_s == pytest.approx(100.0, abs=5.0)
+        assert "RunResult: 2" in stats.summary()
+
+    def test_locked_flag(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.disk_stats().locked
+        with CacheDirLock(tmp_path):
+            assert cache.disk_stats().locked
+
+
+class TestPrototypeRoundTrip:
+    def test_prototype_result_survives_cache(self, tmp_path):
+        from repro.testbed.experiment import (
+            PrototypeConfig,
+            run_prototype,
+        )
+
+        config = PrototypeConfig(threshold_bytes=1024.0, n_messages=50)
+        result = run_prototype(config)
+        cache = ResultCache(tmp_path)
+        cache.put(config, result)
+        restored = ResultCache(tmp_path).get(config)
+        assert restored == result
+        assert restored.dual_breakdown == result.dual_breakdown
+
+    def test_prototype_entries_counted_by_type(self, tmp_path):
+        from repro.testbed.experiment import PrototypeConfig, run_prototype
+
+        now = time.time()
+        config = PrototypeConfig(threshold_bytes=1024.0, n_messages=50)
+        cache = ResultCache(tmp_path)
+        cache.put(config, run_prototype(config))
+        cache.put(Cfg(1), fake_result(1))
+        stats = cache.disk_stats(now=now)
+        assert stats.by_type == {"PrototypeResult": 1, "RunResult": 1}

@@ -88,9 +88,16 @@ class TestRenderArtifact:
         assert list(tmp_path.glob("*.json"))  # cache was populated
 
     def test_prototype_figure_with_coarse_step(self):
-        text = render_artifact(parse("fig11", "--step", "1024"))
+        text = render_artifact(parse("fig11", "--step", "1024", "--no-cache"))
         assert "Dual-Radio" in text
         assert "Sensor Radio" in text
+
+    def test_prototype_figure_uses_cache(self, tmp_path):
+        args = ("fig11", "--step", "1024", "--cache-dir", str(tmp_path))
+        cold = render_artifact(parse(*args))
+        warm = render_artifact(parse(*args))
+        assert warm == cold
+        assert list(tmp_path.glob("*.json"))  # prototype cells cached
 
     def test_output_writes_file(self, tmp_path):
         from repro.cli import main
@@ -98,6 +105,140 @@ class TestRenderArtifact:
         target = tmp_path / "t1.txt"
         assert main(["table1", "--output", str(target)]) == 0
         assert "Micaz" in target.read_text()
+
+
+class TestUnitParsers:
+    def test_parse_size(self):
+        from repro.cli.main import parse_size
+
+        assert parse_size("1048576") == 1024**2
+        assert parse_size("512K") == 512 * 1024
+        assert parse_size("500m") == 500 * 1024**2
+        assert parse_size("2G") == 2 * 1024**3
+
+    def test_parse_size_rejects_garbage(self):
+        import argparse
+
+        from repro.cli.main import parse_size
+
+        for bad in ("many", "-3", "1.5M", ""):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_size(bad)
+
+    def test_parse_duration(self):
+        from repro.cli.main import parse_duration
+
+        assert parse_duration("3600") == 3600.0
+        assert parse_duration("90s") == 90.0
+        assert parse_duration("30m") == 1800.0
+        assert parse_duration("12h") == 12 * 3600.0
+        assert parse_duration("7d") == 7 * 86400.0
+
+    def test_parse_duration_rejects_garbage(self):
+        import argparse
+
+        from repro.cli.main import parse_duration
+
+        for bad in ("soon", "-1", ""):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_duration(bad)
+
+
+class TestShardCli:
+    TINY = ("--runs", "1", "--sim-time", "30", "--senders", "3",
+            "--bursts", "10")
+
+    def test_shard_flag_parsed(self):
+        args = parse("fig5", "--shard", "0/2")
+        assert args.shard == "0/2"
+
+    def test_shard_requires_cache(self):
+        with pytest.raises(SystemExit):
+            render_artifact(parse("fig5", "--shard", "0/2", "--no-cache"))
+
+    def test_shard_rejects_analysis_artifacts(self):
+        with pytest.raises(SystemExit):
+            render_artifact(parse("fig1", "--shard", "0/2"))
+
+    def test_shard_rejects_bad_spec(self, tmp_path):
+        for bad in ("2/2", "x/2", "0"):
+            with pytest.raises(SystemExit):
+                render_artifact(
+                    parse("fig5", "--shard", bad,
+                          "--cache-dir", str(tmp_path))
+                )
+
+    def test_shard_writes_manifest_and_populates_cache(self, tmp_path):
+        text = render_artifact(
+            parse("fig5", *self.TINY, "--shard", "0/1",
+                  "--cache-dir", str(tmp_path))
+        )
+        assert "shard 0/1" in text
+        assert (tmp_path / "shard-0of1.manifest").exists()
+        assert list(tmp_path.glob("*.json"))
+
+    def test_prototype_shard_supported(self, tmp_path):
+        text = render_artifact(
+            parse("fig11", "--step", "2048", "--shard", "0/1",
+                  "--cache-dir", str(tmp_path))
+        )
+        assert "fig11 shard 0/1" in text
+        assert (tmp_path / "shard-0of1.manifest").exists()
+
+
+class TestMergeShardsCli:
+    def test_missing_manifest_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "empty"
+        source.mkdir()
+        rc = main(["merge-shards", str(tmp_path / "dest"), str(source)])
+        assert rc == 1
+        assert "no shard manifest" in capsys.readouterr().err
+
+    def test_merge_after_shard_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        shard_dir = tmp_path / "s0"
+        render_artifact(
+            parse("fig5", *TestShardCli.TINY, "--shard", "0/1",
+                  "--cache-dir", str(shard_dir))
+        )
+        dest = tmp_path / "merged"
+        assert main(["merge-shards", str(dest), str(shard_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "copied" in out
+        assert sorted(p.name for p in dest.glob("*.json")) == sorted(
+            p.name for p in shard_dir.glob("*.json")
+        )
+
+
+class TestCacheCli:
+    def test_stats_and_gc(self, tmp_path, capsys):
+        from repro.cli import main
+
+        render_artifact(
+            parse("fig5", *TestShardCli.TINY, "--cache-dir", str(tmp_path))
+        )
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "RunResult" in out
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        # Freshly-written cells are in-flight: a GC racing a sweep must
+        # not evict them, whatever the byte budget says.
+        assert "in-flight skipped" in out
+        assert list(tmp_path.glob("*.json"))
+
+    def test_gc_on_locked_cache_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.runner.cache import GC_LOCK_NAME
+
+        tmp_path.joinpath(GC_LOCK_NAME).write_text("{}")
+        rc = main(["cache", "gc", "--cache-dir", str(tmp_path)])
+        assert rc == 1
+        assert "already running" in capsys.readouterr().err
 
 
 class TestScaleFromArgs:

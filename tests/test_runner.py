@@ -327,14 +327,37 @@ class TestSweepIntegration:
         assert results2 == results
         assert repr(summary2) == repr(summary)
 
-    def test_prototype_sweep_rejects_cache(self, tmp_path):
-        from repro.testbed.experiment import sweep_thresholds
+    def test_prototype_warm_cache_recomputes_nothing(self, tmp_path, monkeypatch):
+        """Acceptance: a warm prototype cache performs zero recomputations."""
+        from repro.runner import SerialBackend
+        from repro.testbed import experiment
 
-        with pytest.raises(ValueError):
-            sweep_thresholds(
-                [1024.0],
-                runner=SweepRunner(jobs=1, cache=ResultCache(tmp_path)),
-            )
+        thresholds = [1024.0, 2048.0, 4096.0]
+        executions: list[float] = []
+        real_run = experiment.run_prototype
+
+        def counting_run(config):
+            executions.append(config.threshold_bytes)
+            return real_run(config)
+
+        monkeypatch.setattr(experiment, "run_prototype", counting_run)
+        cold_cache = ResultCache(tmp_path)
+        cold = experiment.sweep_thresholds(
+            thresholds,
+            runner=SweepRunner(cache=cold_cache, backend=SerialBackend()),
+        )
+        assert executions == thresholds
+        assert cold_cache.stats.stores == len(thresholds)
+        executions.clear()
+        warm_cache = ResultCache(tmp_path)
+        warm = experiment.sweep_thresholds(
+            thresholds,
+            runner=SweepRunner(cache=warm_cache, backend=SerialBackend()),
+        )
+        assert executions == []  # zero recomputations
+        assert warm_cache.stats.hits == len(thresholds)
+        assert warm_cache.stats.stores == 0
+        assert warm == cold
 
     def test_prototype_sweep_parallel_matches_serial(self):
         from repro.testbed.experiment import sweep_thresholds

@@ -1,0 +1,237 @@
+"""Sharding: specs, deterministic partitioning, manifests, merging."""
+
+import json
+
+import pytest
+
+from repro.models.scenario import ScenarioConfig, run_scenario
+from repro.runner import (
+    MergeError,
+    ResultCache,
+    SerialBackend,
+    ShardBackend,
+    ShardSpec,
+    SweepRunner,
+    config_key,
+    merge_shards,
+    shard_index,
+    write_shard_manifest,
+)
+from repro.runner.shard import manifest_path, read_shard_manifest
+
+TINY = ScenarioConfig(
+    rows=3, cols=3, sink=4, n_senders=2, sim_time_s=10.0, burst_packets=10
+)
+CONFIGS = [TINY.replace(seed=seed) for seed in range(1, 9)]
+KEYS = [config_key(config) for config in CONFIGS]
+
+
+class TestShardSpec:
+    def test_parse_round_trip(self):
+        spec = ShardSpec.parse("1/3")
+        assert (spec.index, spec.count) == (1, 3)
+        assert str(spec) == "1/3"
+        assert ShardSpec.parse(str(spec)) == spec
+
+    def test_invalid_specs_rejected(self):
+        for bad in ("", "1", "1/0", "3/3", "-1/2", "a/b", "1/2/3"):
+            with pytest.raises(ValueError):
+                ShardSpec.parse(bad)
+
+    def test_owns_matches_shard_index(self):
+        for key in KEYS:
+            owners = [
+                index
+                for index in range(3)
+                if ShardSpec(index, 3).owns(key)
+            ]
+            assert owners == [shard_index(key, 3)]
+
+
+class TestShardIndex:
+    def test_partition_is_disjoint_and_exhaustive(self):
+        for count in (1, 2, 3, 5):
+            assignment = {key: shard_index(key, count) for key in KEYS}
+            assert set(assignment.values()) <= set(range(count))
+            # every key lands in exactly one shard, by construction of a
+            # single-valued function; double-check via per-shard slices
+            slices = [
+                {key for key, shard in assignment.items() if shard == index}
+                for index in range(count)
+            ]
+            union = set().union(*slices)
+            assert union == set(KEYS)
+            assert sum(len(piece) for piece in slices) == len(KEYS)
+
+    def test_stable_across_calls_and_key_source(self):
+        for key in KEYS:
+            assert shard_index(key, 4) == shard_index(key, 4)
+        # identity is derived from the config, not the machine: the same
+        # config re-keyed gives the same shard
+        assert shard_index(config_key(CONFIGS[0]), 4) == shard_index(
+            KEYS[0], 4
+        )
+
+    def test_cache_key_method_matches_config_key(self):
+        assert CONFIGS[0].cache_key() == KEYS[0]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            shard_index("not-hex!", 2)
+        with pytest.raises(ValueError):
+            shard_index(KEYS[0], 0)
+
+
+class TestShardBackend:
+    def test_complementary_shards_cover_plan_exactly_once(self, tmp_path):
+        executed: dict[int, list[int]] = {}
+        for index in range(2):
+            seen: list[int] = []
+
+            def spy(config, _seen=seen):
+                _seen.append(config.seed)
+                return run_scenario(config)
+
+            backend = ShardBackend(ShardSpec(index, 2), SerialBackend())
+            SweepRunner(
+                cache=ResultCache(tmp_path / str(index)), backend=backend
+            ).map(spy, CONFIGS)
+            executed[index] = seen
+            assert backend.owned == len(seen)
+            assert backend.skipped == len(CONFIGS) - len(seen)
+        all_seeds = sorted(executed[0] + executed[1])
+        assert all_seeds == sorted(c.seed for c in CONFIGS)
+        assert set(executed[0]).isdisjoint(executed[1])
+
+    def test_out_of_shard_cells_stay_none_unless_cached(self, tmp_path):
+        backend = ShardBackend(ShardSpec(0, 2), SerialBackend())
+        results = SweepRunner(
+            cache=ResultCache(tmp_path), backend=backend
+        ).map(run_scenario, CONFIGS)
+        owned = [ShardSpec(0, 2).owns(key) for key in KEYS]
+        assert 0 < sum(owned) < len(CONFIGS)  # a genuine split
+        for result, mine in zip(results, owned):
+            assert (result is not None) == mine
+
+
+class TestManifest:
+    def test_write_and_read(self, tmp_path):
+        spec = ShardSpec(1, 4)
+        path = write_shard_manifest(tmp_path, spec, KEYS[:3], artifact="fig5")
+        assert path == manifest_path(tmp_path, spec)
+        assert path.name == "shard-1of4.manifest"
+        payload = read_shard_manifest(path)
+        assert payload["shard"] == {"index": 1, "count": 4}
+        assert payload["cells"] == sorted(KEYS[:3])
+        assert payload["artifact"] == "fig5"
+
+    def test_manifest_is_not_a_cache_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        write_shard_manifest(tmp_path, ShardSpec(0, 1), KEYS)
+        assert len(cache) == 0  # *.json glob must not see manifests
+
+    def test_read_rejects_non_manifests(self, tmp_path):
+        bogus = tmp_path / "x.manifest"
+        bogus.write_text("{}")
+        with pytest.raises(MergeError):
+            read_shard_manifest(bogus)
+        bogus.write_text("not json")
+        with pytest.raises(MergeError):
+            read_shard_manifest(bogus)
+        with pytest.raises(MergeError):
+            read_shard_manifest(tmp_path / "absent.manifest")
+
+
+def _run_shard(directory, index, count, configs=CONFIGS):
+    """Execute one shard into ``directory`` and write its manifest."""
+    spec = ShardSpec(index, count)
+    cache = ResultCache(directory)
+    SweepRunner(
+        cache=cache, backend=ShardBackend(spec, SerialBackend())
+    ).map(run_scenario, configs)
+    keys = [key for key in (config_key(c) for c in configs) if spec.owns(key)]
+    write_shard_manifest(directory, spec, keys)
+    return keys
+
+
+class TestMergeShards:
+    def test_merge_assembles_union(self, tmp_path):
+        keys0 = _run_shard(tmp_path / "s0", 0, 2)
+        keys1 = _run_shard(tmp_path / "s1", 1, 2)
+        dest = tmp_path / "merged"
+        report = merge_shards(dest, [tmp_path / "s0", tmp_path / "s1"])
+        assert report.complete
+        assert report.copied == len(KEYS)
+        assert report.shard_count == 2
+        assert report.shards_seen == {0, 1}
+        assert sorted(p.stem for p in dest.glob("*.json")) == sorted(
+            keys0 + keys1
+        )
+        # merged cache serves every cell without recomputation
+        cache = ResultCache(dest)
+        results = SweepRunner(cache=cache).map(run_scenario, CONFIGS)
+        assert cache.stats.hits == len(CONFIGS)
+        assert cache.stats.stores == 0
+        assert all(result is not None for result in results)
+
+    def test_merge_is_idempotent(self, tmp_path):
+        _run_shard(tmp_path / "s0", 0, 1)
+        dest = tmp_path / "merged"
+        first = merge_shards(dest, [tmp_path / "s0"])
+        second = merge_shards(dest, [tmp_path / "s0"])
+        assert first.copied == len(KEYS)
+        assert second.copied == 0
+        assert second.already_present == len(KEYS)
+
+    def test_partial_merge_reports_missing_shards(self, tmp_path):
+        _run_shard(tmp_path / "s0", 0, 3)
+        report = merge_shards(tmp_path / "merged", [tmp_path / "s0"])
+        assert not report.complete
+        assert report.missing_shards == [1, 2]
+        assert "no manifest for shard(s) 1, 2" in report.summary()
+
+    def test_missing_cell_files_tolerated(self, tmp_path):
+        keys = _run_shard(tmp_path / "s0", 0, 1)
+        victim = tmp_path / "s0" / f"{keys[0]}.json"
+        victim.unlink()  # e.g. GC'd after the manifest was written
+        report = merge_shards(tmp_path / "merged", [tmp_path / "s0"])
+        assert report.missing == 1
+        assert report.copied == len(keys) - 1
+        assert not report.complete
+
+    def test_refuses_schema_mismatch(self, tmp_path):
+        _run_shard(tmp_path / "s0", 0, 1)
+        path = manifest_path(tmp_path / "s0", ShardSpec(0, 1))
+        payload = json.loads(path.read_text())
+        payload["schema"] = payload["schema"] + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(MergeError, match="schema"):
+            merge_shards(tmp_path / "merged", [tmp_path / "s0"])
+
+    def test_refuses_version_mismatch(self, tmp_path):
+        _run_shard(tmp_path / "s0", 0, 1)
+        path = manifest_path(tmp_path / "s0", ShardSpec(0, 1))
+        payload = json.loads(path.read_text())
+        payload["version"] = "0.0.0-elsewhere"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(MergeError, match="0.0.0-elsewhere"):
+            merge_shards(tmp_path / "merged", [tmp_path / "s0"])
+
+    def test_refuses_shard_count_mismatch(self, tmp_path):
+        _run_shard(tmp_path / "s0", 0, 2)
+        _run_shard(tmp_path / "s1", 0, 3)
+        with pytest.raises(MergeError, match="shard count"):
+            merge_shards(tmp_path / "m", [tmp_path / "s0", tmp_path / "s1"])
+
+    def test_refuses_sources_without_manifest(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(MergeError, match="no shard manifest"):
+            merge_shards(tmp_path / "merged", [empty])
+
+    def test_refuses_file_destination(self, tmp_path):
+        _run_shard(tmp_path / "s0", 0, 1)
+        occupied = tmp_path / "occupied"
+        occupied.write_text("")
+        with pytest.raises(MergeError, match="not a directory"):
+            merge_shards(occupied, [tmp_path / "s0"])
