@@ -1,5 +1,27 @@
 """Wireless channel: shared media, propagation, collisions, random loss."""
 
+from repro.channel.index import NeighborIndex
 from repro.channel.medium import LossModel, Medium, Transmission
+from repro.channel.propagation import (
+    PROPAGATION,
+    DistancePrr,
+    LogNormalShadowing,
+    PropagationModel,
+    PropagationSpec,
+    UnitDiscPropagation,
+    build_propagation,
+)
 
-__all__ = ["LossModel", "Medium", "Transmission"]
+__all__ = [
+    "DistancePrr",
+    "LogNormalShadowing",
+    "LossModel",
+    "Medium",
+    "NeighborIndex",
+    "PROPAGATION",
+    "PropagationModel",
+    "PropagationSpec",
+    "Transmission",
+    "UnitDiscPropagation",
+    "build_propagation",
+]

@@ -1,0 +1,96 @@
+"""A precomputed neighbor index for static deployments.
+
+Layouts are immutable and radios never move, so each port's audible set is
+fixed for the whole run.  The historical :meth:`Medium.neighbors` rebuilt
+that set with an O(n) scan per node (and answered "is dst in reach?" with
+an O(degree) list search per unicast frame).  :class:`NeighborIndex`
+computes every audible set in one pass over a spatial hash — O(n · k) for
+k candidates per cell neighborhood instead of O(n²) — and serves
+
+* :meth:`neighbors` — the audible set as a cached tuple, ordered by port
+  registration order (byte-compatible with the historical scan, which
+  iterated the registration dict); and
+* :meth:`is_neighbor` — O(1) membership via per-node frozensets.
+
+The index is invalidation-free by construction: it is built lazily after
+the last :meth:`Medium.register` call and the inputs (layout positions,
+port ranges, per-run propagation gains) never change afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.topology.geometry import RANGE_EPSILON_M
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.channel.propagation import PropagationModel
+    from repro.radio.radio import RadioPort
+    from repro.topology.layout import Layout
+
+
+class NeighborIndex:
+    """Audible-neighbor sets for every registered port, precomputed once.
+
+    Parameters
+    ----------
+    layout:
+        Node placement.
+    ports:
+        node id → port, in registration order (dicts preserve insertion
+        order; that order defines the neighbor tuples' order).
+    propagation:
+        The channel's propagation model; :meth:`max_audible_m` bounds the
+        spatial query radius and :meth:`link_audible` makes the final call
+        per candidate.
+    """
+
+    def __init__(
+        self,
+        layout: "Layout",
+        ports: typing.Mapping[int, "RadioPort"],
+        propagation: "PropagationModel",
+    ):
+        order = {node: rank for rank, node in enumerate(ports)}
+        max_reach = max(
+            (propagation.max_audible_m(port) for port in ports.values()),
+            default=0.0,
+        )
+        cell = max(max_reach, 1e-9)
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for node in ports:
+            pos = layout.position(node)
+            buckets.setdefault(
+                (math.floor(pos.x / cell), math.floor(pos.y / cell)), []
+            ).append(node)
+
+        self._neighbors: dict[int, tuple[int, ...]] = {}
+        self._members: dict[int, frozenset[int]] = {}
+        for node, port in ports.items():
+            pos = layout.position(node)
+            # The epsilon keeps boundary placements (grid neighbors at
+            # exactly the nominal range) inside the scanned cell window,
+            # matching in_range()'s inclusive tolerance.
+            reach = propagation.max_audible_m(port) + RANGE_EPSILON_M
+            span = math.ceil(reach / cell) if reach > 0 else 0
+            cx, cy = math.floor(pos.x / cell), math.floor(pos.y / cell)
+            found: list[int] = []
+            for bx in range(cx - span, cx + span + 1):
+                for by in range(cy - span, cy + span + 1):
+                    for other in buckets.get((bx, by), ()):
+                        if other != node and propagation.link_audible(
+                            port, other
+                        ):
+                            found.append(other)
+            found.sort(key=order.__getitem__)
+            self._neighbors[node] = tuple(found)
+            self._members[node] = frozenset(found)
+
+    def neighbors(self, node_id: int) -> tuple[int, ...]:
+        """Audible nodes for ``node_id``, in registration order."""
+        return self._neighbors[node_id]
+
+    def is_neighbor(self, sender_id: int, listener_id: int) -> bool:
+        """Whether ``listener_id`` can hear ``sender_id`` (O(1))."""
+        return listener_id in self._members[sender_id]

@@ -6,8 +6,13 @@ non-overlapping channels).
 
 Model
 -----
-* **Propagation** — unit-disc by each sender's nominal range.  Frames take
-  ``total_bits / rate`` seconds on the air.
+* **Propagation** — pluggable (:mod:`repro.channel.propagation`).  The
+  default is the paper's unit-disc model: audible exactly within each
+  sender's nominal range.  Log-normal shadowing and distance-dependent
+  PRR models can be swapped in per channel; they decide audibility (and
+  optionally a per-frame decode roll) while the medium keeps timing,
+  collisions and energy accounting.  Frames take ``total_bits / rate``
+  seconds on the air.
 * **Collisions** — receiver-centric: a unicast reception fails if another
   transmission audible at the receiver overlaps it in time (including the
   receiver's own transmissions — radios are half-duplex).  This models the
@@ -20,23 +25,31 @@ Model
   802.11 receivers (and the classic ns-2 model) exhibit.  Set
   ``capture_ratio=None`` for the pessimistic any-overlap-kills model.
 * **Random loss** — an optional per-frame Bernoulli loss applied on top of
-  collisions (:class:`LossModel`).
+  collisions (:class:`LossModel`), plus whatever per-frame reception the
+  propagation model rolls (e.g. distance-dependent PRR).
 * **Overhearing** — every *listening* neighbour of the sender is charged
   reception energy for the frame via its radio's accounting hook; the
   evaluation models then include or exclude those charges (Sensor-ideal vs
   Sensor-header, Section 4).
 
-For performance the medium never schedules per-neighbour events: one start
-and one end event per transmission, with set arithmetic over the (small)
-set of concurrently active transmissions.
+Performance
+-----------
+The medium never schedules per-neighbour events: one start and one end
+event per transmission, with set arithmetic over the (small) set of
+concurrently active transmissions.  Audible sets come from a
+:class:`~repro.channel.index.NeighborIndex` built once after registration
+(layouts are immutable, so the index never invalidates mid-run): neighbor
+lists are cached tuples and reachability/carrier-sense membership checks
+are O(1), replacing the historical per-node O(n) scans.
 """
 
 from __future__ import annotations
 
 import typing
 
+from repro.channel.index import NeighborIndex
+from repro.channel.propagation import PropagationModel, UnitDiscPropagation
 from repro.mac.frames import Frame
-from repro.topology.geometry import in_range
 from repro.topology.layout import Layout
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -111,6 +124,9 @@ class Medium:
         Channel label, used for RNG stream naming and traces.
     loss:
         Optional random-loss model applied to otherwise successful frames.
+    propagation:
+        Optional :class:`~repro.channel.propagation.PropagationModel`;
+        defaults to the paper's unit-disc model over ``layout``.
     """
 
     #: Default capture threshold as a distance ratio: an interferer farther
@@ -132,18 +148,20 @@ class Medium:
         name: str = "channel",
         loss: LossModel | None = None,
         capture_ratio: float | None = DEFAULT_CAPTURE_RATIO,
+        propagation: PropagationModel | None = None,
     ):
         self.sim = sim
         self.layout = layout
         self.name = name
         self.loss = loss or LossModel(0.0)
+        self.propagation = propagation or UnitDiscPropagation(layout)
         if capture_ratio is not None and capture_ratio < 1.0:
             raise ValueError("capture_ratio must be >= 1 (or None)")
         self.capture_ratio = capture_ratio
         self._ports: dict[int, "RadioPort"] = {}
         self._active: list[Transmission] = []
-        #: node id -> ids of nodes within *that node's* transmit range.
-        self._neighbor_cache: dict[int, list[int]] = {}
+        #: Precomputed audible sets; built lazily after the last register.
+        self._index: NeighborIndex | None = None
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_collided = 0
@@ -160,43 +178,42 @@ class Medium:
         if port.node_id not in self.layout:
             raise ValueError(f"node {port.node_id} is not in the layout")
         self._ports[port.node_id] = port
-        self._neighbor_cache.clear()
+        self._index = None
 
     def port(self, node_id: int) -> "RadioPort":
         """The radio port registered for ``node_id``."""
         return self._ports[node_id]
 
-    def neighbors(self, node_id: int) -> list[int]:
-        """Registered nodes within ``node_id``'s transmit range (cached)."""
-        cached = self._neighbor_cache.get(node_id)
-        if cached is None:
-            port = self._ports[node_id]
-            origin = self.layout.position(node_id)
-            cached = [
-                other
-                for other in self._ports
-                if other != node_id
-                and in_range(origin, self.layout.position(other), port.range_m)
-            ]
-            self._neighbor_cache[node_id] = cached
-        return cached
+    def _neighbor_index(self) -> NeighborIndex:
+        index = self._index
+        if index is None:
+            index = NeighborIndex(self.layout, self._ports, self.propagation)
+            self._index = index
+        return index
+
+    def neighbors(self, node_id: int) -> tuple[int, ...]:
+        """Registered nodes audible from ``node_id`` (precomputed tuple)."""
+        if node_id not in self._ports:
+            raise KeyError(node_id)
+        return self._neighbor_index().neighbors(node_id)
+
+    def is_neighbor(self, sender_id: int, listener_id: int) -> bool:
+        """Whether ``listener_id`` can hear ``sender_id`` (O(1) lookup)."""
+        return self._neighbor_index().is_neighbor(sender_id, listener_id)
 
     # -- carrier sensing -----------------------------------------------------
 
     def is_busy_for(self, node_id: int) -> bool:
         """Whether ``node_id`` senses the channel busy right now.
 
-        True if any active transmission's sender is within *its own* range
-        of the listener (energy detection at the listener's position).
+        True if any active transmission is audible at the listener's
+        position (energy detection), or the listener is itself sending.
         """
-        listener_pos = self.layout.position(node_id)
         for tx in self._active:
             sender_id = tx.sender.node_id
             if sender_id == node_id:
                 return True
-            if in_range(
-                self.layout.position(sender_id), listener_pos, tx.sender.range_m
-            ):
+            if self.is_neighbor(sender_id, node_id):
                 return True
         return False
 
@@ -256,16 +273,17 @@ class Medium:
             return True
         if victim_rx not in self._ports:
             return False
-        rx_pos = self.layout.position(victim_rx)
-        interferer_pos = self.layout.position(interferer.node_id)
-        if not in_range(interferer_pos, rx_pos, interferer.range_m):
+        if not self.is_neighbor(interferer.node_id, victim_rx):
             return False
         if self.capture_ratio is None:
             return True
+        rx_pos = self.layout.position(victim_rx)
         signal_distance = self.layout.position(
             victim.sender.node_id
         ).distance_to(rx_pos)
-        interference_distance = interferer_pos.distance_to(rx_pos)
+        interference_distance = self.layout.position(
+            interferer.node_id
+        ).distance_to(rx_pos)
         return interference_distance < self.capture_ratio * signal_distance
 
     def _finish(self, record: Transmission) -> None:
@@ -292,7 +310,11 @@ class Medium:
         if frame.is_broadcast:
             for neighbor_id in self.neighbors(sender_id):
                 port = self._ports[neighbor_id]
-                if port.is_listening and not self.loss.is_lost():
+                if (
+                    port.is_listening
+                    and not self.loss.is_lost()
+                    and self.propagation.delivery_roll(record.sender, neighbor_id)
+                ):
                     port.deliver(frame)
             self.frames_delivered += 1
             return
@@ -300,13 +322,16 @@ class Medium:
         port = self._ports.get(frame.dst)
         if port is None:
             return
-        in_reach = frame.dst in self.neighbors(sender_id)
+        in_reach = self.is_neighbor(sender_id, frame.dst)
         if not in_reach or not record.receiver_listening or not port.is_listening:
             return
         if record.corrupted:
             self.frames_collided += 1
             return
         if self.loss.is_lost():
+            self.frames_lost += 1
+            return
+        if not self.propagation.delivery_roll(record.sender, frame.dst):
             self.frames_lost += 1
             return
         self.frames_delivered += 1

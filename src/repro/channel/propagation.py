@@ -1,0 +1,238 @@
+"""Propagation models: who can hear whom, and how reliably.
+
+The paper's medium is unit-disc: a frame is audible exactly within the
+sender's nominal range.  That stays the default (and is byte-identical to
+the historical behaviour — it draws no randomness), but the model is now a
+pluggable protocol behind :class:`~repro.channel.medium.Medium`, so lossy
+and irregular channels from the broader literature are one config field
+away:
+
+``unit-disc``
+    Audible iff within the sender's nominal range; every audible frame
+    decodes (subject to collisions and the medium's Bernoulli loss).
+``log-normal``
+    Log-normal shadowing: each link's effective range is the nominal range
+    scaled by a per-link gain drawn once per run from
+    ``Normal(0, sigma_db)`` (clamped to ±3σ) through the path-loss
+    exponent.  Link gains are derived from a per-run seed and the link's
+    node ids — deterministic regardless of query order, and symmetric.
+``distance-prr``
+    Distance-dependent packet reception: audibility is unit-disc, but each
+    audible frame decodes with probability ``1 - (d / range)^exponent``
+    (floored at ``floor``), drawn per frame — the classic smooth PRR
+    falloff of lossy-link studies.
+
+A model answers three questions for the medium:
+
+* :meth:`PropagationModel.max_audible_m` — the pruning radius the neighbor
+  index may rely on (nothing beyond it is ever audible);
+* :meth:`PropagationModel.link_audible` — can ``listener`` hear ``sender``
+  at all (used for neighbor sets, carrier sense and interference);
+* :meth:`PropagationModel.delivery_roll` — does this particular frame
+  decode (per-frame randomness, on top of collisions and random loss).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.registry import ParamSpec, Registry
+from repro.sim.rng import derive_seed
+from repro.topology.geometry import in_range
+from repro.topology.layout import Layout
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.radio.radio import RadioPort
+
+
+@dataclasses.dataclass(frozen=True)
+class PropagationSpec(ParamSpec):
+    """A named propagation model plus parameters, in hashable form."""
+
+    kind: str = "unit-disc"
+
+    axis = "propagation model"
+
+
+class PropagationModel:
+    """Protocol for channel propagation (see module docstring)."""
+
+    def max_audible_m(self, sender: "RadioPort") -> float:
+        """Upper bound on the distance at which ``sender`` is audible."""
+        raise NotImplementedError
+
+    def link_audible(self, sender: "RadioPort", listener_id: int) -> bool:
+        """Whether ``listener_id`` can hear ``sender`` at all this run."""
+        raise NotImplementedError
+
+    def delivery_roll(self, sender: "RadioPort", receiver_id: int) -> bool:
+        """Per-frame decode decision for an audible, uncollided frame."""
+        raise NotImplementedError
+
+
+class UnitDiscPropagation(PropagationModel):
+    """The paper's model: audible iff within nominal range, no randomness."""
+
+    def __init__(self, layout: Layout):
+        self.layout = layout
+
+    def max_audible_m(self, sender: "RadioPort") -> float:
+        return sender.range_m
+
+    def link_audible(self, sender: "RadioPort", listener_id: int) -> bool:
+        return in_range(
+            self.layout.position(sender.node_id),
+            self.layout.position(listener_id),
+            sender.range_m,
+        )
+
+    def delivery_roll(self, sender: "RadioPort", receiver_id: int) -> bool:
+        return True
+
+
+class LogNormalShadowing(PropagationModel):
+    """Per-link log-normal shadowing over the nominal range.
+
+    Each unordered link gets one gain ``g ~ Normal(0, sigma_db)`` dB,
+    clamped to ±3σ, converted to a range factor ``10^(g / (10 n))`` with
+    path-loss exponent ``n``: links in a fade lose reach, lucky links gain
+    it.  Gains derive from a per-run seed and the link's (sorted) node
+    ids via SHA-256, so they are independent of query order and identical
+    across processes — a shadowed deployment is as cacheable as a perfect
+    one.
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        rng: typing.Any,
+        sigma_db: float = 4.0,
+        path_loss_exp: float = 3.5,
+    ):
+        if sigma_db < 0:
+            raise ValueError("sigma_db must be non-negative")
+        if path_loss_exp <= 0:
+            raise ValueError("path_loss_exp must be positive")
+        self.layout = layout
+        self.sigma_db = sigma_db
+        self.path_loss_exp = path_loss_exp
+        # One 64-bit draw anchors every link gain for the run.
+        self._run_seed = rng.getrandbits(64)
+        self._factors: dict[tuple[int, int], float] = {}
+        self._max_factor = 10.0 ** ((3.0 * sigma_db) / (10.0 * path_loss_exp))
+
+    def _range_factor(self, a: int, b: int) -> float:
+        link = (a, b) if a <= b else (b, a)
+        factor = self._factors.get(link)
+        if factor is None:
+            gain_rng = random.Random(
+                derive_seed(self._run_seed, f"link:{link[0]}:{link[1]}")
+            )
+            gain_db = gain_rng.gauss(0.0, self.sigma_db)
+            gain_db = max(-3.0 * self.sigma_db, min(3.0 * self.sigma_db, gain_db))
+            factor = 10.0 ** (gain_db / (10.0 * self.path_loss_exp))
+            self._factors[link] = factor
+        return factor
+
+    def max_audible_m(self, sender: "RadioPort") -> float:
+        return sender.range_m * self._max_factor
+
+    def link_audible(self, sender: "RadioPort", listener_id: int) -> bool:
+        factor = self._range_factor(sender.node_id, listener_id)
+        return in_range(
+            self.layout.position(sender.node_id),
+            self.layout.position(listener_id),
+            sender.range_m * factor,
+        )
+
+    def delivery_roll(self, sender: "RadioPort", receiver_id: int) -> bool:
+        return True
+
+
+class DistancePrr(PropagationModel):
+    """Unit-disc audibility with distance-dependent packet reception.
+
+    An audible frame decodes with probability
+    ``max(floor, 1 - (d / range)^exponent)`` — near-perfect links close
+    to the sender, increasingly lossy toward the range edge.  Draws come
+    from the medium's dedicated propagation stream, so enabling the model
+    never perturbs MAC backoff or traffic jitter streams.
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        rng: typing.Any,
+        exponent: float = 4.0,
+        floor: float = 0.0,
+    ):
+        if exponent <= 0:
+            raise ValueError("exponent must be positive")
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError("floor must be in [0, 1]")
+        self.layout = layout
+        self.exponent = exponent
+        self.floor = floor
+        self._rng = rng
+
+    def max_audible_m(self, sender: "RadioPort") -> float:
+        return sender.range_m
+
+    def link_audible(self, sender: "RadioPort", listener_id: int) -> bool:
+        return in_range(
+            self.layout.position(sender.node_id),
+            self.layout.position(listener_id),
+            sender.range_m,
+        )
+
+    def prr(self, sender: "RadioPort", receiver_id: int) -> float:
+        """The link's packet reception ratio."""
+        if sender.range_m <= 0:
+            return self.floor
+        distance = self.layout.position(sender.node_id).distance_to(
+            self.layout.position(receiver_id)
+        )
+        ratio = min(1.0, distance / sender.range_m)
+        return max(self.floor, 1.0 - ratio**self.exponent)
+
+    def delivery_roll(self, sender: "RadioPort", receiver_id: int) -> bool:
+        return self._rng.random() < self.prr(sender, receiver_id)
+
+
+PROPAGATION: Registry[typing.Callable[..., PropagationModel]] = Registry(
+    "propagation model"
+)
+
+PROPAGATION.register(
+    "unit-disc",
+    lambda layout, rng, **params: UnitDiscPropagation(layout, **params),
+    summary="audible iff within nominal range (the paper's model; default)",
+    params=(),
+)
+PROPAGATION.register(
+    "log-normal",
+    lambda layout, rng, **params: LogNormalShadowing(layout, rng, **params),
+    summary="per-link log-normal shadowing of the nominal range",
+    params=("sigma_db=4", "path_loss_exp=3.5"),
+)
+PROPAGATION.register(
+    "distance-prr",
+    lambda layout, rng, **params: DistancePrr(layout, rng, **params),
+    summary="distance-dependent packet reception ratio inside the disc",
+    params=("exponent=4", "floor=0"),
+)
+
+
+def build_propagation(
+    spec: PropagationSpec, layout: Layout, rng: typing.Any = None
+) -> PropagationModel:
+    """Realize ``spec`` against ``layout``; ``rng`` feeds stochastic models."""
+    factory = PROPAGATION.get(spec.kind)
+    try:
+        return factory(layout, rng, **spec.kwargs())
+    except TypeError as error:
+        raise ValueError(
+            f"bad parameters for propagation model {spec.kind!r}: {error}"
+        ) from None

@@ -25,6 +25,15 @@ Examples
     repro cache gc --max-bytes 500M        # LRU-trim to a size budget
     repro cache gc --max-age 30d           # drop entries older than 30 days
 
+    repro scenarios list                   # registered composition axes
+
+    # scenarios beyond the paper's grid: compose topology x propagation x
+    # radios x traffic; cells hash into the same cache/shard machinery.
+    repro run --topology uniform-random:n=24,width_m=160,height_m=160,connect_range_m=60 \
+              --propagation log-normal:sigma_db=4 --senders 8 --runs 3
+    repro run --topology line:n=8 --traffic poisson --sim-time 120
+    repro run --high-radio-map 0=Cabletron --traffic-mix 3=audio,5=poisson
+
 Simulation figures (fig5–fig10) and prototype figures (fig11–fig12)
 execute through the sweep runner: cells fan out over ``--jobs`` worker
 processes (default ``$REPRO_JOBS``, then serial; ``$REPRO_BACKEND``
@@ -44,9 +53,19 @@ import dataclasses
 import sys
 import typing
 
-from repro.models.scenario import run_scenario
+from repro.channel.propagation import PROPAGATION, PropagationSpec
+from repro.energy.radio_specs import TABLE_1, get_spec
+from repro.models.scenario import (
+    RadioAssignment,
+    ScenarioConfig,
+    run_replicated,
+    run_scenario,
+)
 from repro.models.sweeps import SweepScale, sweep_plan
 from repro.report import figures
+from repro.report.scenario import render_run_report
+from repro.topology.registry import TOPOLOGIES, TopologySpec, topology_node_count
+from repro.traffic.registry import TRAFFIC
 from repro.runner import (
     CacheLockedError,
     MergeError,
@@ -441,9 +460,280 @@ def _cache_main(argv: typing.Sequence[str]) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# scenarios and run subcommands (the composition surface).
+# ---------------------------------------------------------------------------
+
+
+def _scenarios_main(argv: typing.Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro scenarios",
+        description=(
+            "Inspect the registered scenario-composition axes (topologies, "
+            "propagation models, traffic sources, radios)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="print every registered implementation")
+    parser.parse_args(list(argv))
+
+    def section(title: str, rows: list[tuple[str, str, str]]) -> list[str]:
+        lines = [title, "-" * len(title)]
+        width = max(len(name) for name, _p, _s in rows)
+        for name, params, summary in rows:
+            lines.append(f"  {name:<{width}s}  {summary}")
+            if params:
+                lines.append(f"  {'':<{width}s}  params: {params}")
+        lines.append("")
+        return lines
+
+    out: list[str] = []
+    out += section(
+        "topologies (--topology kind:key=value,...)",
+        [
+            (entry.name, ", ".join(entry.params), entry.summary)
+            for entry in TOPOLOGIES.entries()
+        ],
+    )
+    out += section(
+        "propagation models (--propagation kind:key=value,...)",
+        [
+            (entry.name, ", ".join(entry.params), entry.summary)
+            for entry in PROPAGATION.entries()
+        ],
+    )
+    out += section(
+        "traffic sources (--traffic name, --traffic-mix node=name,...)",
+        [
+            (entry.name, ", ".join(entry.params), entry.summary)
+            for entry in TRAFFIC.entries()
+        ],
+    )
+    out += section(
+        "radios (--low-radio / --high-radio / --high-radio-map, Table 1 names)",
+        [
+            (
+                name,
+                "",
+                f"{spec.kind}-power, {spec.rate_bps / 1e6:g} Mb/s, "
+                f"range {spec.range_m:g} m",
+            )
+            for name, spec in TABLE_1.items()
+        ],
+    )
+    print("\n".join(out).rstrip())
+    return 0
+
+
+def _parse_pairs(text: str, what: str) -> tuple[tuple[int, str], ...]:
+    """Parse ``node=name,node=name`` CLI lists."""
+    pairs = []
+    for chunk in text.split(","):
+        node, sep, name = chunk.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"repro: error: bad {what} entry {chunk!r}; expected node=name"
+            )
+        try:
+            pairs.append((int(node), name.strip()))
+        except ValueError:
+            raise SystemExit(
+                f"repro: error: bad node id in {what} entry {chunk!r}"
+            )
+    return tuple(sorted(pairs))
+
+
+def _run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description=(
+            "Run one composed scenario cell (replicated over seeds) and "
+            "print its metrics.  Axes come from the registries shown by "
+            "'repro scenarios list'; cells cache exactly like figure "
+            "sweeps."
+        ),
+    )
+    parser.add_argument(
+        "--topology",
+        type=str,
+        default=None,
+        metavar="KIND[:K=V,...]",
+        help="deployment shape (default: the paper's 6x6 grid)",
+    )
+    parser.add_argument(
+        "--topology-file",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="JSON positions file (inlined into the config as from-file)",
+    )
+    parser.add_argument(
+        "--propagation",
+        type=str,
+        default=None,
+        metavar="KIND[:K=V,...]",
+        help="channel propagation model (default: unit-disc)",
+    )
+    parser.add_argument(
+        "--traffic", type=str, default="cbr", help="uniform traffic source"
+    )
+    parser.add_argument(
+        "--traffic-mix",
+        type=str,
+        default=None,
+        metavar="NODE=NAME,...",
+        help="per-sender traffic overrides",
+    )
+    parser.add_argument(
+        "--model",
+        choices=("dual", "sensor", "wifi"),
+        default="dual",
+        help="evaluation model (default dual)",
+    )
+    parser.add_argument(
+        "--low-radio", type=str, default=None, help="sensor radio (Table 1 name)"
+    )
+    parser.add_argument(
+        "--high-radio",
+        type=str,
+        default=None,
+        help="high-power radio every node carries (Table 1 name)",
+    )
+    parser.add_argument(
+        "--high-radio-map",
+        type=str,
+        default=None,
+        metavar="NODE=NAME,...",
+        help="per-node high-power radio overrides (mixed fleets)",
+    )
+    parser.add_argument("--sink", type=int, default=None, help="sink node id")
+    parser.add_argument(
+        "--senders", type=int, default=None, help="number of sending nodes"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=2000.0, help="per-sender rate (b/s)"
+    )
+    parser.add_argument(
+        "--burst", type=int, default=500, help="BCP burst size (packets)"
+    )
+    parser.add_argument(
+        "--loss", type=float, default=0.0, help="Bernoulli frame loss probability"
+    )
+    parser.add_argument(
+        "--multihop",
+        action="store_true",
+        help="give the high radio the multi-hop range advantage",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=1, help="replicated runs (seeds)"
+    )
+    parser.add_argument(
+        "--sim-time", type=float, default=150.0, help="simulated seconds per run"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="base random seed")
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (0 = all cores)"
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, help="result cache directory"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    parser.add_argument(
+        "--output", type=str, default=None, help="write the report to a file"
+    )
+    return parser
+
+
+def _run_config(args: argparse.Namespace) -> ScenarioConfig:
+    """Translate ``repro run`` flags into a :class:`ScenarioConfig`."""
+    try:
+        topology = None
+        if args.topology_file is not None:
+            if args.topology is not None:
+                raise ValueError("--topology and --topology-file are exclusive")
+            topology = TopologySpec.from_file(args.topology_file)
+        elif args.topology is not None:
+            topology = TopologySpec.parse(args.topology)
+        propagation = (
+            PropagationSpec.parse(args.propagation)
+            if args.propagation is not None
+            else None
+        )
+        n_nodes = 36 if topology is None else topology_node_count(topology)
+        # The paper's center sink (node 14) only means something on the
+        # default grid; composed topologies default to node 0.
+        sink = args.sink
+        if sink is None:
+            sink = 14 if topology is None else 0
+        n_senders = args.senders
+        if n_senders is None:
+            n_senders = min(10, n_nodes - 1)
+        high_radios = None
+        if args.high_radio_map is not None:
+            high_radios = RadioAssignment.parse(
+                args.high_radio_map, default=args.high_radio
+            )
+        changes: dict[str, typing.Any] = dict(
+            model=args.model,
+            topology=topology,
+            propagation=propagation,
+            sink=sink,
+            n_senders=n_senders,
+            rate_bps=args.rate,
+            burst_packets=args.burst,
+            loss_probability=args.loss,
+            multihop=args.multihop,
+            sim_time_s=args.sim_time,
+            seed=args.seed,
+            traffic=args.traffic,
+            high_radios=high_radios,
+        )
+        if args.traffic_mix is not None:
+            changes["traffic_mix"] = _parse_pairs(args.traffic_mix, "--traffic-mix")
+        if args.low_radio is not None:
+            changes["low_spec"] = get_spec(args.low_radio)
+        if args.high_radio is not None and high_radios is None:
+            changes["high_spec"] = get_spec(args.high_radio)
+        return ScenarioConfig(**changes)
+    except (ValueError, KeyError, OSError) as error:
+        message = error.args[0] if error.args else error
+        raise SystemExit(f"repro: error: {message}")
+
+
+def _run_main(argv: typing.Sequence[str]) -> int:
+    args = _run_parser().parse_args(list(argv))
+    if args.runs < 1:
+        raise SystemExit("repro: error: --runs must be at least 1")
+    config = _run_config(args)
+    runner = _runner_from_args(args)
+    try:
+        results, summary = run_replicated(
+            config, n_runs=args.runs, runner=runner
+        )
+    except ValueError as error:
+        # e.g. a partitioned deployment: surface the build-time diagnosis
+        # without a traceback.
+        raise SystemExit(f"repro: error: {error}")
+    text = render_run_report(config, results, summary)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote run report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: typing.Sequence[str] | None = None) -> int:
-    """CLI entry point: artifacts, ``merge-shards``, or ``cache``."""
+    """CLI entry point: artifacts, ``run``, ``scenarios``, ``merge-shards``,
+    or ``cache``."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run":
+        return _run_main(argv[1:])
+    if argv and argv[0] == "scenarios":
+        return _scenarios_main(argv[1:])
     if argv and argv[0] == "merge-shards":
         return _merge_shards_main(argv[1:])
     if argv and argv[0] == "cache":

@@ -19,6 +19,7 @@ from repro.models.scenario import (
     MODEL_WIFI,
     PAPER_BURST_SIZES,
     PAPER_SENDER_COUNTS,
+    RadioAssignment,
     ScenarioConfig,
     build_network,
     multi_hop_config,
@@ -35,6 +36,7 @@ __all__ = [
     "MODEL_WIFI",
     "PAPER_BURST_SIZES",
     "PAPER_SENDER_COUNTS",
+    "RadioAssignment",
     "ScenarioConfig",
     "build_network",
     "multi_hop_config",

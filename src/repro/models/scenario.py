@@ -1,11 +1,32 @@
 """The Section 4.1 evaluation harness: scenario configuration and metrics.
 
-A :class:`ScenarioConfig` describes one cell of the paper's experiment
-matrix: which model (*sensor*, *wifi*, *dual*), the grid, who sends at what
+A :class:`ScenarioConfig` describes one cell of the experiment matrix:
+which model (*sensor*, *wifi*, *dual*), the deployment, who sends at what
 rate, the burst size, and whether the high-power radio has the multi-hop
 range advantage.  :func:`run_scenario` builds the network, runs it, and
 returns a :class:`~repro.stats.metrics.RunResult`; :func:`run_replicated`
 repeats with different seeds for confidence intervals.
+
+Scenario composition
+--------------------
+The paper evaluates one deployment shape — a 6×6 grid, unit-disc links,
+one radio pairing per model.  Those remain the defaults (and remain
+byte-identical to the original harness), but each axis is now pluggable
+through registry-backed spec fields, so deployments beyond the paper are
+plain config data — hashable, cacheable and sweepable like any other cell:
+
+* ``topology`` — a :class:`~repro.topology.registry.TopologySpec`
+  (``grid``, ``line``, ``uniform-random``, ``clustered``, ``from-file``);
+  ``None`` keeps the paper's ``rows × cols × spacing_m`` grid fields.
+* ``propagation`` — a :class:`~repro.channel.propagation.PropagationSpec`
+  (``unit-disc``, ``log-normal``, ``distance-prr``) applied to both
+  channels; ``None`` keeps the paper's unit-disc medium.
+* ``high_radios`` — a :class:`RadioAssignment` naming each node's
+  high-power NIC (mixed fleets, a Cabletron-only sink, ...); ``None``
+  gives every node ``high_spec`` as before.
+* ``traffic`` / ``traffic_mix`` — registry names from
+  :mod:`repro.traffic.registry`; the mix overrides the uniform choice per
+  sender (e.g. a few audio nodes among CBR ones).
 
 Paper defaults (Section 4.1): 200×200 m² grid of 36 nodes, 5000 s runs,
 32 B sensor packets, 1024 B 802.11 packets, buffer 5000 × 32 B, burst
@@ -29,11 +50,24 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+import networkx
+
 from repro.channel.medium import LossModel, Medium
+from repro.channel.propagation import (
+    PROPAGATION,
+    PropagationSpec,
+    build_propagation,
+)
 from repro.core.bcp import BcpAgent
 from repro.core.config import BcpConfig
 from repro.energy.meter import EnergyMeter
-from repro.energy.radio_specs import CABLETRON, LUCENT_11, MICAZ, RadioSpec
+from repro.energy.radio_specs import (
+    CABLETRON,
+    LUCENT_11,
+    MICAZ,
+    RadioSpec,
+    get_spec,
+)
 from repro.mac.csma import SensorCsmaMac
 from repro.mac.dcf import DcfMac
 from repro.models.forwarding import ForwardingAgent
@@ -58,7 +92,13 @@ from repro.stats.metrics import (
 )
 from repro.stats.summary import ReplicatedSummary, summarize_runs
 from repro.topology.layout import Layout, grid_layout
-from repro.traffic.generators import AudioBurstSource, CbrSource, PoissonSource
+from repro.topology.registry import (
+    TOPOLOGIES,
+    TopologySpec,
+    build_layout,
+    topology_node_count,
+)
+from repro.traffic.registry import TRAFFIC, build_source
 
 if typing.TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.runner.executor import SweepRunner
@@ -73,6 +113,56 @@ PAPER_BURST_SIZES = (10, 100, 500, 1000, 2500)
 
 #: The sender counts on the figures' x axes.
 PAPER_SENDER_COUNTS = (5, 10, 15, 20, 25, 30, 35)
+
+
+@dataclasses.dataclass(frozen=True)
+class RadioAssignment:
+    """Per-node high-power radio selection for heterogeneous deployments.
+
+    Attributes
+    ----------
+    default:
+        Table 1 radio name every unlisted node gets; ``None`` falls back
+        to the scenario's ``high_spec`` (with its multi-hop range
+        override, if any).
+    overrides:
+        ``(node_id, radio_name)`` pairs for nodes that differ — e.g.
+        ``((14, "Cabletron"),)`` for a deployment whose sink alone carries
+        the long-range NIC.
+    """
+
+    default: str | None = None
+    overrides: tuple[tuple[int, str], ...] = ()
+
+    @classmethod
+    def parse(cls, text: str, default: str | None = None) -> "RadioAssignment":
+        """Parse CLI syntax ``node=Name,node=Name`` into an assignment."""
+        overrides = []
+        if text.strip():
+            for pair in text.split(","):
+                node, sep, name = pair.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"bad radio override {pair!r}; expected node=RadioName"
+                    )
+                overrides.append((int(node), name.strip()))
+        return cls(default=default, overrides=tuple(sorted(overrides)))
+
+    def names(self) -> list[str]:
+        """Every radio name the assignment references."""
+        names = [name for _node, name in self.overrides]
+        if self.default is not None:
+            names.append(self.default)
+        return names
+
+    def spec_for(self, node_id: int, fallback: RadioSpec) -> RadioSpec:
+        """The high-power spec ``node_id`` carries."""
+        for node, name in self.overrides:
+            if node == node_id:
+                return get_spec(name)
+        if self.default is not None:
+            return get_spec(self.default)
+        return fallback
 
 
 @dataclasses.dataclass
@@ -103,24 +193,77 @@ class ScenarioConfig:
     wakeup_timeout_s: float = 3.0
     receiver_idle_timeout_s: float = 3.0
     traffic: str = "cbr"
+    #: Deployment shape; ``None`` keeps the paper's grid fields above.
+    topology: TopologySpec | None = None
+    #: Channel propagation; ``None`` keeps the paper's unit-disc medium.
+    propagation: PropagationSpec | None = None
+    #: Per-node high-power radio selection; ``None`` = ``high_spec`` for all.
+    high_radios: RadioAssignment | None = None
+    #: Per-sender traffic overrides ``(node_id, source_name)``; unlisted
+    #: senders use ``traffic``.
+    traffic_mix: tuple[tuple[int, str], ...] = ()
 
     def __post_init__(self) -> None:
         if self.model not in (MODEL_SENSOR, MODEL_WIFI, MODEL_DUAL):
             raise ValueError(f"unknown model {self.model!r}")
-        n_nodes = self.rows * self.cols
+        if self.topology is not None and self.topology.kind not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology.kind!r}; "
+                f"registered: {TOPOLOGIES.names()}"
+            )
+        if self.propagation is not None and self.propagation.kind not in PROPAGATION:
+            raise ValueError(
+                f"unknown propagation model {self.propagation.kind!r}; "
+                f"registered: {PROPAGATION.names()}"
+            )
+        n_nodes = self.n_nodes
         if not 0 <= self.sink < n_nodes:
-            raise ValueError("sink must be a grid node")
+            raise ValueError("sink must be a deployed node")
         if not 1 <= self.n_senders <= n_nodes - 1:
             raise ValueError(
                 f"n_senders must be in [1, {n_nodes - 1}], got {self.n_senders}"
             )
-        if self.traffic not in ("cbr", "poisson", "audio"):
-            raise ValueError(f"unknown traffic model {self.traffic!r}")
+        for name in (self.traffic, *(name for _node, name in self.traffic_mix)):
+            if name not in TRAFFIC:
+                raise ValueError(
+                    f"unknown traffic model {name!r}; registered: {TRAFFIC.names()}"
+                )
+        mix_nodes = [node for node, _name in self.traffic_mix]
+        for node in mix_nodes:
+            if not 0 <= node < n_nodes:
+                raise ValueError(f"traffic_mix node {node} is not deployed")
+            if node == self.sink:
+                raise ValueError("traffic_mix cannot include the sink")
+        if len(set(mix_nodes)) != len(mix_nodes):
+            raise ValueError("traffic_mix lists a node more than once")
+        if len(mix_nodes) > self.n_senders:
+            raise ValueError(
+                f"traffic_mix names {len(mix_nodes)} senders but n_senders "
+                f"is {self.n_senders}; mix nodes always send"
+            )
+        if self.high_radios is not None:
+            for node, _name in self.high_radios.overrides:
+                if not 0 <= node < n_nodes:
+                    raise ValueError(f"high_radios node {node} is not deployed")
+            for name in self.high_radios.names():
+                get_spec(name)  # raises KeyError listing valid names
 
     @property
     def n_nodes(self) -> int:
-        """Grid size."""
-        return self.rows * self.cols
+        """Deployment size (grid fields, or the topology spec's count)."""
+        if self.topology is None:
+            return self.rows * self.cols
+        return topology_node_count(self.topology)
+
+    def build_layout(self, sim: Simulator) -> Layout:
+        """Realize this config's deployment inside ``sim``.
+
+        Randomized topologies draw from the ``"topology.layout"`` stream,
+        so the deployment is a pure function of the config seed.
+        """
+        if self.topology is None:
+            return grid_layout(self.rows, self.cols, self.spacing_m)
+        return build_layout(self.topology, rng=sim.rng.stream("topology.layout"))
 
     def effective_high_spec(self) -> RadioSpec:
         """The high-power spec, with an optional MH range override.
@@ -132,6 +275,20 @@ class ScenarioConfig:
         if self.multihop and self.multihop_range_m is not None:
             return self.high_spec.replace(range_m=self.multihop_range_m)
         return self.high_spec
+
+    def high_spec_for(self, node_id: int) -> RadioSpec:
+        """The high-power spec ``node_id`` carries (assignment-aware)."""
+        fallback = self.effective_high_spec()
+        if self.high_radios is None:
+            return fallback
+        return self.high_radios.spec_for(node_id, fallback)
+
+    def traffic_for(self, node_id: int) -> str:
+        """The traffic source name driving ``node_id`` if it sends."""
+        for node, name in self.traffic_mix:
+            if node == node_id:
+                return name
+        return self.traffic
 
     def replace(self, **changes: typing.Any) -> "ScenarioConfig":
         """Copy with ``changes`` applied."""
@@ -145,6 +302,9 @@ class ScenarioConfig:
         an N-machine sweep executes the cell
         (:func:`repro.runner.shard.shard_index`) — identical on every
         machine because it is derived purely from the config's contents.
+        Every composition axis (topology, propagation, radio assignment,
+        traffic mix) is plain data inside the config, so it is covered
+        automatically.
         """
         from repro.runner.hashing import config_key
 
@@ -189,50 +349,61 @@ class _BuiltNetwork:
 def select_senders(config: ScenarioConfig, sim: Simulator) -> list[int]:
     """Choose which nodes send: a seeded random sample of non-sink nodes.
 
-    With ``n_senders == n_nodes - 1`` (the paper's 35-sender point) every
+    Nodes named in ``traffic_mix`` always send — naming a traffic source
+    for a node that then stays silent would make the mix silently inert —
+    and the remaining slots are sampled randomly.  With
+    ``n_senders == n_nodes - 1`` (the paper's 35-sender point) every
     non-sink node sends, making the choice deterministic.
     """
     candidates = [node for node in range(config.n_nodes) if node != config.sink]
     if config.n_senders >= len(candidates):
         return candidates
+    forced = [node for node, _name in config.traffic_mix]
     rng = sim.rng.stream("scenario.senders")
-    return sorted(rng.sample(candidates, config.n_senders))
-
-
-def _attach_source(
-    config: ScenarioConfig,
-    sim: Simulator,
-    node_id: int,
-    submit: typing.Callable,
-) -> typing.Any:
-    if config.traffic == "cbr":
-        return CbrSource(
-            sim,
-            node_id,
-            config.sink,
-            submit,
-            rate_bps=config.rate_bps,
-            payload_bytes=config.payload_bytes,
-            stop_s=config.sim_time_s,
-        )
-    if config.traffic == "poisson":
-        return PoissonSource(
-            sim,
-            node_id,
-            config.sink,
-            submit,
-            mean_rate_bps=config.rate_bps,
-            payload_bytes=config.payload_bytes,
-            stop_s=config.sim_time_s,
-        )
-    return AudioBurstSource(
-        sim,
-        node_id,
-        config.sink,
-        submit,
-        payload_bytes=config.payload_bytes,
-        stop_s=config.sim_time_s,
+    sampled = rng.sample(
+        [node for node in candidates if node not in forced],
+        config.n_senders - len(forced),
     )
+    return sorted(forced + sampled)
+
+
+def _propagation_for(
+    config: ScenarioConfig, sim: Simulator, layout: Layout, channel: str
+) -> typing.Any:
+    """The channel's propagation model, or ``None`` for the default.
+
+    ``None`` (rather than an explicit unit-disc instance) keeps the
+    no-spec path identical to the historical construction: no extra rng
+    stream is created and the medium builds its own default.
+    """
+    if config.propagation is None:
+        return None
+    return build_propagation(
+        config.propagation,
+        layout,
+        rng=sim.rng.stream(f"channel.{channel}.prop"),
+    )
+
+
+def _audibility_routing(
+    layout: Layout, medium: Medium, rng: typing.Any
+) -> RoutingTable:
+    """Routing over the links the medium can actually carry this run.
+
+    With a non-default propagation model the nominal range lies: a
+    log-normal fade can mute a 40 m link for the whole run, and routing a
+    flow across it would silently deliver nothing.  The medium's neighbor
+    index *is* the per-run audibility, so build the routing graph from it
+    — keeping only bidirectional links, since every tier's protocols need
+    the reverse direction (CSMA acks, BCP's wakeup handshake).
+    """
+    graph = networkx.Graph()
+    graph.add_nodes_from(layout.node_ids)
+    for a in layout.node_ids:
+        for b in medium.neighbors(a):
+            if a < b and medium.is_neighbor(b, a):
+                graph.add_edge(a, b, distance=layout.distance(a, b))
+    return RoutingTable(graph, rng=rng)
 
 
 def _build_low_stack(
@@ -247,6 +418,7 @@ def _build_low_stack(
         name="low",
         loss=LossModel(config.loss_probability, loss_rng),
         capture_ratio=Medium.CC2420_CAPTURE_RATIO,
+        propagation=_propagation_for(config, sim, layout, "low"),
     )
     built.mediums.append(medium)
     for node in range(config.n_nodes):
@@ -255,6 +427,10 @@ def _build_low_stack(
         )
         built.low_radios[node] = radio
         built.low_macs[node] = SensorCsmaMac(sim, radio)
+    if config.propagation is not None:
+        return _audibility_routing(
+            layout, medium, rng=sim.rng.stream("routing.low")
+        )
     return build_routing(
         layout, config.low_spec.range_m, rng=sim.rng.stream("routing.low")
     )
@@ -265,36 +441,79 @@ def _build_high_stack(
 ) -> RoutingTable:
     layout = built.layout
     assert layout is not None
-    spec = config.effective_high_spec()
     loss_rng = sim.rng.stream("channel.high.loss")
     medium = Medium(
         sim,
         layout,
         name="high",
         loss=LossModel(config.loss_probability, loss_rng),
+        propagation=_propagation_for(config, sim, layout, "high"),
     )
     built.mediums.append(medium)
     for node in range(config.n_nodes):
-        radio = HighPowerRadio(sim, node, spec, medium, built.meters[node])
+        radio = HighPowerRadio(
+            sim, node, config.high_spec_for(node), medium, built.meters[node]
+        )
         built.high_radios[node] = radio
         built.high_macs[node] = DcfMac(sim, radio)
-    return build_routing(
-        layout, spec.range_m, rng=sim.rng.stream("routing.high")
+    if config.high_radios is None and config.propagation is None:
+        # Homogeneous fleet on the paper's channel: the historical
+        # single-range construction.
+        return build_routing(
+            layout,
+            config.effective_high_spec().range_m,
+            rng=sim.rng.stream("routing.high"),
+        )
+    # Mixed fleets and/or shadowed channels: route over the links the
+    # medium will actually carry (bidirectional audibility — the index
+    # already accounts for per-node ranges and per-run link gains).
+    return _audibility_routing(
+        layout, medium, rng=sim.rng.stream("routing.high")
     )
+
+
+def _check_sender_routes(
+    config: ScenarioConfig,
+    senders: typing.Sequence[int],
+    tables: typing.Mapping[str, RoutingTable],
+) -> None:
+    """Fail fast (and helpfully) when a sender cannot reach the sink.
+
+    The paper's grid is connected at the sensor range by construction, so
+    this never fires for paper scenarios; composed deployments (random
+    placements, shrunken ranges, mixed fleets) can produce partitioned
+    tiers, and a clear error beats a mid-run RoutingError traceback.
+    """
+    for name, table in tables.items():
+        unreachable = [
+            sender
+            for sender in senders
+            if not table.has_route(sender, config.sink)
+        ]
+        if unreachable:
+            raise ValueError(
+                f"senders {unreachable} cannot reach sink {config.sink} over "
+                f"the {name} radio tier: the deployment is partitioned at "
+                "that tier's range.  Densify the layout, enlarge the field's "
+                "connect_range_m (keep it within the radio range), or pick "
+                "longer-range radios."
+            )
 
 
 def build_network(config: ScenarioConfig, sim: Simulator) -> _BuiltNetwork:
     """Construct the full network for ``config`` inside ``sim``."""
     built = _BuiltNetwork()
     built.sim = sim
-    built.layout = grid_layout(config.rows, config.cols, config.spacing_m)
+    built.layout = config.build_layout(sim)
     built.meters = {
         node: EnergyMeter(f"node{node}") for node in range(config.n_nodes)
     }
     built.collector = SinkCollector(sim, config.sink)
 
+    route_tables: dict[str, RoutingTable] = {}
     if config.model == MODEL_SENSOR:
         low_table = _build_low_stack(config, sim, built)
+        route_tables["low"] = low_table
         for node in range(config.n_nodes):
             built.agents[node] = ForwardingAgent(
                 sim,
@@ -305,6 +524,7 @@ def build_network(config: ScenarioConfig, sim: Simulator) -> _BuiltNetwork:
             )
     elif config.model == MODEL_WIFI:
         high_table = _build_high_stack(config, sim, built)
+        route_tables["high"] = high_table
         for node in range(config.n_nodes):
             built.high_radios[node].wake()
             built.agents[node] = ForwardingAgent(
@@ -317,6 +537,8 @@ def build_network(config: ScenarioConfig, sim: Simulator) -> _BuiltNetwork:
     else:  # MODEL_DUAL
         low_table = _build_low_stack(config, sim, built)
         high_table = _build_high_stack(config, sim, built)
+        route_tables["low"] = low_table
+        route_tables["high"] = high_table
         address_map = AddressMap()
         for node in range(config.n_nodes):
             address_map.register_node(node, has_high_radio=True)
@@ -356,9 +578,15 @@ def build_network(config: ScenarioConfig, sim: Simulator) -> _BuiltNetwork:
                 address_map=address_map,
             )
 
-    for sender in select_senders(config, sim):
-        source = _attach_source(
-            config, sim, sender, built.agents[sender].submit
+    senders = select_senders(config, sim)
+    _check_sender_routes(config, senders, route_tables)
+    for sender in senders:
+        source = build_source(
+            config.traffic_for(sender),
+            sim,
+            sender,
+            built.agents[sender].submit,
+            config,
         )
         built.sources.append(source)
     return built
@@ -368,11 +596,10 @@ def _collect_energy(
     config: ScenarioConfig, built: _BuiltNetwork
 ) -> dict[str, float]:
     low_component = f"radio.{config.low_spec.name}"
-    high_component = f"radio.{config.effective_high_spec().name}"
     ideal = header = full_low = high_full = 0.0
     for radio in built.high_radios.values():
         radio.flush_accounting()
-    for meter in built.meters.values():
+    for node, meter in built.meters.items():
         ideal += meter.total(low_component, categories=("tx", "rx"))
         header_part = meter.total(
             low_component, categories=(CATEGORY_OVERHEAR_HEADER,)
@@ -382,7 +609,10 @@ def _collect_energy(
         )
         header += header_part
         full_low += header_part + body_part
-        high_full += meter.total(high_component)
+        # Heterogeneous fleets meter each node under its own NIC's
+        # component name; resolve per node (same name everywhere when no
+        # assignment is configured).
+        high_full += meter.total(f"radio.{config.high_spec_for(node).name}")
     energy = {
         ENERGY_SENSOR_IDEAL: ideal,
         ENERGY_SENSOR_HEADER: ideal + header,

@@ -152,18 +152,22 @@ class SweepScale:
         return dataclasses.replace(self, **changes)
 
 
-def _base_config(case: str, rate_bps: float | None) -> ScenarioConfig:
+def _base_config(
+    case: str,
+    rate_bps: float | None,
+    overrides: typing.Mapping[str, typing.Any] | None = None,
+) -> ScenarioConfig:
     if case == "SH":
         config = single_hop_config()
-        if rate_bps is not None:
-            config = config.replace(rate_bps=rate_bps)
-        return config
-    if case == "MH":
+    elif case == "MH":
         config = multi_hop_config()
-        if rate_bps is not None:
-            config = config.replace(rate_bps=rate_bps)
-        return config
-    raise ValueError(f"case must be 'SH' or 'MH', got {case!r}")
+    else:
+        raise ValueError(f"case must be 'SH' or 'MH', got {case!r}")
+    if rate_bps is not None:
+        config = config.replace(rate_bps=rate_bps)
+    if overrides:
+        config = config.replace(**dict(overrides))
+    return config
 
 
 @dataclasses.dataclass(frozen=True)
@@ -188,6 +192,7 @@ def sweep_plan(
     rate_bps: float | None = None,
     include_wifi: bool = True,
     include_sensor: bool = True,
+    overrides: typing.Mapping[str, typing.Any] | None = None,
 ) -> list[PlannedRun]:
     """Lay out every run of the matrix as an independent config.
 
@@ -195,9 +200,15 @@ def sweep_plan(
     models per burst size, then the sensor baseline, then 802.11 — each
     swept over sender counts, each cell replicated ``scale.n_runs`` times
     with consecutive seeds.
+
+    ``overrides`` is applied to the case's base config before the matrix
+    is laid out; it is how the composition axes (``topology``,
+    ``propagation``, ``high_radios``, ``traffic``/``traffic_mix``) enter
+    the planner — the resulting cells hash, cache and shard like any
+    paper cell.
     """
     scale = scale or SweepScale()
-    base = _base_config(case, rate_bps)
+    base = _base_config(case, rate_bps, overrides)
     plan: list[PlannedRun] = []
 
     def add_cell(label: str, n_senders: int, config: ScenarioConfig) -> None:
@@ -252,6 +263,7 @@ def run_sweep(
     include_sensor: bool = True,
     progress: typing.Callable[[str], None] | None = None,
     runner: SweepRunner | None = None,
+    overrides: typing.Mapping[str, typing.Any] | None = None,
 ) -> SweepData:
     """Run the full experiment matrix for one case.
 
@@ -266,6 +278,9 @@ def run_sweep(
         goodput/energy figures and 0.2 kb/s for the energy–delay figures).
     include_wifi / include_sensor:
         Skip the baselines when a figure does not need them.
+    overrides:
+        Extra :class:`ScenarioConfig` field overrides applied to the base
+        config (scenario-composition axes, field sizes, ...).
     progress:
         Optional callback invoked with a human-readable line per cell
         (the legacy interface; the runner's own progress events carry
@@ -282,8 +297,9 @@ def run_sweep(
         rate_bps=rate_bps,
         include_wifi=include_wifi,
         include_sensor=include_sensor,
+        overrides=overrides,
     )
-    base = _base_config(case, rate_bps)
+    base = _base_config(case, rate_bps, overrides)
     legacy_progress = None
     if progress is not None:
         # One line per cell, emitted as each cell first produces a result,

@@ -18,6 +18,15 @@ Two concrete radios mirror the paper's platform:
 The energy-model asymmetry is deliberate and mirrors the paper's Section 4:
 "the sensor model is shown in the best possible light, while the dual-radio
 model pays for the cost of the IEEE 802.11 radios fully."
+
+Ports on one medium need not share a :class:`~repro.energy.radio_specs.RadioSpec`:
+heterogeneous deployments (scenario ``high_radios`` assignments) register
+radios of different models — and therefore ranges and meter components —
+side by side.  The medium's neighbor index reads each port's ``range_m``
+once, after the last registration; port registration order also fixes the
+order of the medium's neighbor tuples, so construction loops should
+register nodes in a deterministic order (the scenario builder uses
+ascending node id).
 """
 
 from __future__ import annotations

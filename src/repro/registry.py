@@ -1,0 +1,163 @@
+"""Shared registry and spec machinery for the scenario-composition axes.
+
+The topology, propagation and traffic registries all need the same three
+things: register implementations under stable string names (the names end
+up inside :class:`~repro.models.scenario.ScenarioConfig` and therefore in
+cache keys), look them up with a helpful error, and enumerate themselves
+for ``repro scenarios list``.  :class:`Registry` provides exactly that;
+:class:`ParamSpec` is the common declarative form (a registered kind plus
+sorted ``(key, value)`` parameters, hashable plain data) that the
+topology and propagation spec types derive from — one parser, one
+describe format, one CLI syntax.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+T = typing.TypeVar("T")
+
+#: Scalar parameter values a spec may carry (tuples allow nested plain
+#: data such as inlined positions).
+ParamValue = typing.Union[int, float, str, tuple]
+
+
+def parse_param_value(text: str) -> ParamValue:
+    """Parse a CLI parameter value: int, then float, then plain string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+@dataclasses.dataclass(frozen=True)
+class ParamSpec:
+    """A registered kind plus parameters, in hashable plain-data form.
+
+    Subclasses (``TopologySpec``, ``PropagationSpec``) only pin their
+    default ``kind`` and an axis label for error messages; construction,
+    CLI parsing and rendering are shared here.
+    """
+
+    kind: str
+    params: tuple[tuple[str, ParamValue], ...] = ()
+
+    #: What the spec names, for parse errors ("topology", ...).
+    axis: typing.ClassVar[str] = "spec"
+
+    @classmethod
+    def of(cls, kind: str, **params: ParamValue) -> "typing.Self":
+        """Build a spec with keyword parameters (stored sorted by name)."""
+        return cls(kind, tuple(sorted(params.items())))
+
+    @classmethod
+    def parse(cls, text: str) -> "typing.Self":
+        """Parse CLI syntax ``kind`` or ``kind:key=value,key=value``.
+
+        Values parse as int, then float, then string; e.g.
+        ``uniform-random:n=36,width_m=200`` or ``log-normal:sigma_db=6``.
+        """
+        kind, _, raw = text.partition(":")
+        kind = kind.strip()
+        if not kind:
+            raise ValueError(f"empty {cls.axis} in {text!r}")
+        params: dict[str, ParamValue] = {}
+        if raw.strip():
+            for pair in raw.split(","):
+                key, sep, value = pair.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"bad parameter {pair!r} in {text!r}; expected key=value"
+                    )
+                params[key.strip()] = parse_param_value(value.strip())
+        return cls.of(kind, **params)
+
+    def kwargs(self) -> dict[str, ParamValue]:
+        """The parameters as a keyword dict."""
+        return dict(self.params)
+
+    def describe(self) -> str:
+        """Compact human form, e.g. ``uniform-random(n=36, width_m=200)``."""
+        inner = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}({inner})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Entry(typing.Generic[T]):
+    """One registered implementation.
+
+    Attributes
+    ----------
+    name:
+        The stable registry key (appears in configs and cache keys).
+    value:
+        The registered object (a provider/factory, axis-specific).
+    summary:
+        One-line human description for ``repro scenarios list``.
+    params:
+        ``name=default`` strings documenting the accepted parameters.
+    """
+
+    name: str
+    value: T
+    summary: str = ""
+    params: tuple[str, ...] = ()
+
+
+class Registry(typing.Generic[T]):
+    """Ordered name → :class:`Entry` mapping with friendly lookup errors."""
+
+    def __init__(self, kind: str):
+        #: What this registry holds ("topology", ...); used in error text.
+        self.kind = kind
+        self._entries: dict[str, Entry[T]] = {}
+
+    def register(
+        self,
+        name: str,
+        value: T,
+        summary: str = "",
+        params: typing.Sequence[str] = (),
+    ) -> T:
+        """Register ``value`` under ``name`` (duplicate names are bugs)."""
+        if name in self._entries:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = Entry(name, value, summary, tuple(params))
+        return value
+
+    def get(self, name: str) -> T:
+        """The registered value for ``name``.
+
+        Raises
+        ------
+        KeyError
+            With the list of valid names, so a CLI typo is self-explaining.
+        """
+        try:
+            return self._entries[name].value
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; expected one of {self.names()}"
+            ) from None
+
+    def entry(self, name: str) -> Entry[T]:
+        """The full :class:`Entry` for ``name`` (same errors as :meth:`get`)."""
+        self.get(name)  # raise the friendly KeyError on typos
+        return self._entries[name]
+
+    def names(self) -> list[str]:
+        """Registered names in registration order."""
+        return list(self._entries)
+
+    def entries(self) -> list[Entry[T]]:
+        """All entries in registration order."""
+        return list(self._entries.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

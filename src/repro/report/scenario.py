@@ -1,0 +1,125 @@
+"""Text rendering for single-scenario runs (the ``repro run`` artifact).
+
+The figure renderers aggregate whole sweeps; ``repro run`` executes one
+composed cell (possibly replicated over seeds) and wants a compact,
+self-describing block: what was composed (topology, propagation, radios,
+traffic), what came out (goodput, energy, delay with CIs), and the channel
+counters that explain *why* (collisions, losses, BCP handshakes).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.report.tables import format_value, render_table
+from repro.stats.metrics import RunResult, merge_counters
+from repro.stats.summary import ReplicatedSummary
+
+if typing.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.models.scenario import ScenarioConfig
+
+
+def describe_composition(config: "ScenarioConfig") -> list[str]:
+    """Human lines describing the config's composition axes."""
+    if config.topology is None:
+        topology = (
+            f"grid({config.rows}x{config.cols}, "
+            f"spacing={config.spacing_m:g} m)"
+        )
+    else:
+        topology = config.topology.describe()
+    propagation = (
+        "unit-disc (paper default)"
+        if config.propagation is None
+        else config.propagation.describe()
+    )
+    if config.high_radios is None:
+        radios = config.effective_high_spec().name
+    else:
+        assignment = config.high_radios
+        default = assignment.default or config.effective_high_spec().name
+        parts = [f"default={default}"]
+        parts += [f"node {node}={name}" for node, name in assignment.overrides]
+        radios = ", ".join(parts)
+    traffic = config.traffic
+    if config.traffic_mix:
+        mix = ", ".join(f"node {node}={name}" for node, name in config.traffic_mix)
+        traffic = f"{traffic} ({mix})"
+    return [
+        f"model       : {config.model}",
+        f"topology    : {topology}  ({config.n_nodes} nodes, sink {config.sink})",
+        f"propagation : {propagation}",
+        f"high radio  : {radios}",
+        f"low radio   : {config.low_spec.name}",
+        f"traffic     : {traffic}  ({config.n_senders} senders at "
+        f"{config.rate_bps:g} b/s)",
+        f"burst       : {config.burst_packets} packets, buffer "
+        f"{config.buffer_packets} packets",
+    ]
+
+
+def _counter_rows(results: typing.Sequence[RunResult]) -> list[list[object]]:
+    counters = merge_counters(*(result.counters for result in results))
+    interesting = (
+        "medium.low.sent",
+        "medium.low.collided",
+        "medium.high.sent",
+        "medium.high.collided",
+        "medium.high.lost",
+        "mac.retransmissions",
+        "bcp.wakeups",
+        "bcp.bursts",
+        "bcp.handshake_failures",
+        "bcp.buffer_drops",
+        "fwd.dropped",
+    )
+    n = max(len(results), 1)
+    return [
+        [name, counters[name] / n] for name in interesting if name in counters
+    ]
+
+
+def render_run_report(
+    config: "ScenarioConfig",
+    results: typing.Sequence[RunResult],
+    summary: ReplicatedSummary,
+) -> str:
+    """The full ``repro run`` text artifact."""
+    lines = ["scenario", "--------"]
+    lines += describe_composition(config)
+    lines += [
+        f"runs        : {summary.n_runs} seed(s) from {config.seed}, "
+        f"{config.sim_time_s:g} s each",
+        "",
+        "results (mean +/- 95% CI)",
+        "-------------------------",
+    ]
+    row = summary.row()
+    lines.append(
+        f"goodput     : {format_value(row['goodput'])} b/s "
+        f"+/- {format_value(row['goodput_ci'])}"
+    )
+    lines.append(
+        f"energy      : {format_value(row['energy_j_per_kbit'])} J/Kbit "
+        f"+/- {format_value(row['energy_ci'])}"
+    )
+    lines.append(
+        f"mean delay  : {format_value(row['delay_s'])} s "
+        f"+/- {format_value(row['delay_ci'])}"
+    )
+    if summary.undelivered_runs:
+        lines.append(
+            f"undelivered : {summary.undelivered_runs}/{summary.n_runs} runs "
+            "delivered nothing (excluded from energy)"
+        )
+    counter_rows = _counter_rows(results)
+    if counter_rows:
+        lines += ["", ""]
+        lines.append(
+            render_table(
+                ("counter", "per-run mean"),
+                counter_rows,
+                title="channel / protocol counters",
+            )
+        )
+    return "\n".join(lines)

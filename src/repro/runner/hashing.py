@@ -26,7 +26,10 @@ import typing
 #: semantic changes to the simulator that keep configs identical, ...).
 #: v2: entries carry a ``result_type`` tag (the cache now stores
 #: prototype measurements alongside simulation results).
-CACHE_SCHEMA_VERSION = 2
+#: v3: ScenarioConfig grew the scenario-composition axes (topology /
+#: propagation / high_radios / traffic_mix specs); every pre-axis key is
+#: retired wholesale rather than left as unreachable dead weight.
+CACHE_SCHEMA_VERSION = 3
 
 
 def _canonicalize(value: typing.Any) -> typing.Any:

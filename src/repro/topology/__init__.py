@@ -1,14 +1,31 @@
 """Deployment layouts used by the paper's analysis and evaluation."""
 
 from repro.topology.geometry import RANGE_EPSILON_M, Position, in_range
-from repro.topology.layout import Layout, grid_layout, line_layout, random_layout
+from repro.topology.layout import (
+    Layout,
+    clustered_layout,
+    grid_layout,
+    line_layout,
+    random_layout,
+)
+from repro.topology.registry import (
+    TOPOLOGIES,
+    TopologySpec,
+    build_layout,
+    topology_node_count,
+)
 
 __all__ = [
     "Layout",
     "Position",
     "RANGE_EPSILON_M",
+    "TOPOLOGIES",
+    "TopologySpec",
+    "build_layout",
+    "clustered_layout",
     "grid_layout",
     "in_range",
     "line_layout",
     "random_layout",
+    "topology_node_count",
 ]

@@ -1,10 +1,17 @@
-"""Node layouts: the paper's grid and line deployments, plus random layouts.
+"""Node layouts: the paper's grid and line deployments, plus generated ones.
 
 A :class:`Layout` is simply an ordered mapping of integer node ids to
 :class:`~repro.topology.geometry.Position`.  Connectivity is *not* stored
 here — it is a function of each radio's range — but :meth:`Layout.graph`
 materializes the connectivity graph for a given range (used to build routing
 tables).
+
+Layouts are immutable once constructed, so derived data (:attr:`Layout.node_ids`,
+:meth:`Layout.neighbors_within`) is computed once and served as cached
+tuples.  Generator functions cover the paper's deployments (grid, line) and
+the scenario-composition axes beyond it (uniform random, clustered); the
+registry in :mod:`repro.topology.registry` makes them nameable from configs
+and the CLI.
 """
 
 from __future__ import annotations
@@ -30,11 +37,14 @@ class Layout:
         if not positions:
             raise ValueError("a layout needs at least one node")
         self._positions = dict(positions)
+        # Layouts are documented immutable: derived views are computed once.
+        self._node_ids: tuple[int, ...] = tuple(self._positions)
+        self._neighbors_cache: dict[tuple[int, float], tuple[int, ...]] = {}
 
     @property
-    def node_ids(self) -> list[int]:
-        """All node ids in insertion order."""
-        return list(self._positions)
+    def node_ids(self) -> tuple[int, ...]:
+        """All node ids in insertion order (cached tuple)."""
+        return self._node_ids
 
     def __len__(self) -> int:
         return len(self._positions)
@@ -50,14 +60,23 @@ class Layout:
         """Euclidean distance between two nodes in meters."""
         return self._positions[a].distance_to(self._positions[b])
 
-    def neighbors_within(self, node_id: int, range_m: float) -> list[int]:
-        """Ids of all *other* nodes within ``range_m`` of ``node_id``."""
-        origin = self._positions[node_id]
-        return [
-            other
-            for other, pos in self._positions.items()
-            if other != node_id and in_range(origin, pos, range_m)
-        ]
+    def neighbors_within(self, node_id: int, range_m: float) -> tuple[int, ...]:
+        """Ids of all *other* nodes within ``range_m`` of ``node_id``.
+
+        Cached per ``(node, range)``: layouts are immutable, so the answer
+        never changes after the first computation.
+        """
+        key = (node_id, range_m)
+        cached = self._neighbors_cache.get(key)
+        if cached is None:
+            origin = self._positions[node_id]
+            cached = tuple(
+                other
+                for other, pos in self._positions.items()
+                if other != node_id and in_range(origin, pos, range_m)
+            )
+            self._neighbors_cache[key] = cached
+        return cached
 
     def graph(self, range_m: float) -> "networkx.Graph":
         """Connectivity graph for radios with transmission range ``range_m``.
@@ -70,6 +89,27 @@ class Layout:
         for i, a in enumerate(ids):
             for b in ids[i + 1 :]:
                 if in_range(self._positions[a], self._positions[b], range_m):
+                    g.add_edge(a, b, distance=self.distance(a, b))
+        return g
+
+    def graph_for_ranges(
+        self, ranges: typing.Mapping[int, float]
+    ) -> "networkx.Graph":
+        """Connectivity graph for heterogeneous per-node ranges.
+
+        An edge exists only when the two nodes are within *both* ranges
+        (links must be bidirectional to carry a handshake); with a uniform
+        range map this reduces exactly to :meth:`graph`.  Nodes missing
+        from ``ranges`` are placed in the graph but get no edges (e.g.
+        nodes without a high-power radio in a heterogeneous deployment).
+        """
+        g = networkx.Graph()
+        g.add_nodes_from(self._positions)
+        ids = [n for n in self._positions if n in ranges]
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                reach = min(ranges[a], ranges[b])
+                if in_range(self._positions[a], self._positions[b], reach):
                     g.add_edge(a, b, distance=self.distance(a, b))
         return g
 
@@ -104,11 +144,40 @@ def line_layout(n_nodes: int, spacing_m: float = 40.0) -> Layout:
     return Layout({i: Position(i * spacing_m, 0.0) for i in range(n_nodes)})
 
 
+def _connected(layout: Layout, range_m: float) -> bool:
+    return networkx.is_connected(layout.graph(range_m))
+
+
+def _sample_until_connected(
+    sample: typing.Callable[[], Layout],
+    connect_range_m: float | None,
+    max_tries: int,
+) -> Layout:
+    """Draw layouts until one is connected at ``connect_range_m``.
+
+    Resampling consumes the caller's rng deterministically, so the result
+    is still a pure function of the stream state.  ``None`` disables the
+    check (a single draw, exactly the historical behaviour).
+    """
+    if connect_range_m is None:
+        return sample()
+    for _ in range(max_tries):
+        layout = sample()
+        if _connected(layout, connect_range_m):
+            return layout
+    raise ValueError(
+        f"no connected layout at range {connect_range_m} m after "
+        f"{max_tries} draws; enlarge the range or densify the deployment"
+    )
+
+
 def random_layout(
     n_nodes: int,
     width_m: float,
     height_m: float,
     rng: typing.Any,
+    connect_range_m: float | None = None,
+    max_tries: int = 200,
 ) -> Layout:
     """Uniform random placement inside a ``width × height`` field.
 
@@ -117,11 +186,62 @@ def random_layout(
     rng:
         A ``random.Random``-like object (pass a named stream from
         :class:`repro.sim.RngRegistry` for reproducibility).
+    connect_range_m:
+        When set, resample (up to ``max_tries`` times, deterministically)
+        until the layout's connectivity graph at this range is connected —
+        a disconnected deployment cannot deliver to the sink at all, which
+        makes it useless as a sweep cell.
     """
     if n_nodes < 1:
         raise ValueError("need at least one node")
-    positions = {
-        i: Position(rng.uniform(0.0, width_m), rng.uniform(0.0, height_m))
-        for i in range(n_nodes)
-    }
-    return Layout(positions)
+
+    def sample() -> Layout:
+        return Layout(
+            {
+                i: Position(rng.uniform(0.0, width_m), rng.uniform(0.0, height_m))
+                for i in range(n_nodes)
+            }
+        )
+
+    return _sample_until_connected(sample, connect_range_m, max_tries)
+
+
+def clustered_layout(
+    n_nodes: int,
+    width_m: float,
+    height_m: float,
+    rng: typing.Any,
+    clusters: int = 3,
+    sigma_m: float = 20.0,
+    connect_range_m: float | None = None,
+    max_tries: int = 200,
+) -> Layout:
+    """Gaussian clusters around uniformly placed cluster heads.
+
+    Models patchy real deployments (instrumented habitats, building
+    wings): ``clusters`` centers are drawn uniformly in the field, and
+    node ``i`` is placed normally (std ``sigma_m``) around center
+    ``i % clusters``, clamped to the field.  Deterministic given ``rng``.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    if sigma_m < 0:
+        raise ValueError("sigma must be non-negative")
+
+    def sample() -> Layout:
+        centers = [
+            Position(rng.uniform(0.0, width_m), rng.uniform(0.0, height_m))
+            for _ in range(clusters)
+        ]
+        positions = {}
+        for i in range(n_nodes):
+            center = centers[i % clusters]
+            positions[i] = Position(
+                min(max(rng.gauss(center.x, sigma_m), 0.0), width_m),
+                min(max(rng.gauss(center.y, sigma_m), 0.0), height_m),
+            )
+        return Layout(positions)
+
+    return _sample_until_connected(sample, connect_range_m, max_tries)

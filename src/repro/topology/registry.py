@@ -1,0 +1,298 @@
+"""The topology registry: nameable, hashable deployment shapes.
+
+A :class:`TopologySpec` is the declarative form of a deployment — a
+registry name plus a sorted tuple of ``(key, value)`` parameters — small
+enough to live inside :class:`~repro.models.scenario.ScenarioConfig`, and
+made purely of plain data so the runner's config hashing covers it (every
+topology variation becomes a distinct, cacheable, shardable sweep cell for
+free).
+
+Registered kinds:
+
+``grid``
+    The paper's rows × cols lattice (:func:`~repro.topology.layout.grid_layout`).
+``line``
+    The Section 2.2 string-of-pearls (:func:`~repro.topology.layout.line_layout`).
+``uniform-random``
+    Uniform placement in a rectangle, optionally resampled until connected.
+``clustered``
+    Gaussian clusters around uniform cluster heads.
+``from-file``
+    Explicit positions.  :meth:`TopologySpec.from_file` inlines the file's
+    coordinates into the spec so the config hash covers the *positions*,
+    not a path whose contents could silently change under the cache.
+
+Randomized topologies draw from the named stream the caller passes
+(scenario builds use ``sim.rng.stream("topology.layout")``), so the same
+config seed always produces the same deployment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+from repro.registry import ParamSpec, Registry
+from repro.topology.layout import (
+    Layout,
+    clustered_layout,
+    grid_layout,
+    line_layout,
+    random_layout,
+)
+from repro.topology.geometry import Position
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologySpec(ParamSpec):
+    """A named topology plus its parameters, in hashable plain-data form."""
+
+    kind: str = "grid"
+
+    axis = "topology"
+
+    @classmethod
+    def from_file(cls, path: str) -> "TopologySpec":
+        """An explicit-positions spec read from a JSON layout file.
+
+        Accepted shapes: ``{"positions": {"0": [x, y], ...}}``, a bare
+        mapping ``{"0": [x, y], ...}``, or a list ``[[x, y], ...]`` (ids
+        assigned 0..n-1).  The coordinates are inlined into the spec, so
+        the resulting config hash identifies the actual deployment.
+        """
+        with open(path) as handle:
+            data = json.load(handle)
+        if isinstance(data, dict) and "positions" in data:
+            data = data["positions"]
+        if isinstance(data, dict):
+            items = [(int(node), pos) for node, pos in data.items()]
+        elif isinstance(data, list):
+            items = list(enumerate(data))
+        else:
+            raise ValueError(f"{path}: expected a JSON mapping or list of positions")
+        positions = tuple(
+            (node, float(pos[0]), float(pos[1])) for node, pos in sorted(items)
+        )
+        return cls.of("from-file", positions=positions)
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyProvider:
+    """How to realize one registered topology kind.
+
+    Attributes
+    ----------
+    build:
+        ``(params, rng) -> Layout``.  Deterministic given the rng state.
+    node_count:
+        ``params -> int`` without building — configs validate sink/sender
+        indices before any simulator exists.
+    """
+
+    build: typing.Callable[[dict, typing.Any], Layout]
+    node_count: typing.Callable[[dict], int]
+
+
+TOPOLOGIES: Registry[TopologyProvider] = Registry("topology")
+
+
+def register_topology(
+    name: str,
+    build: typing.Callable[[dict, typing.Any], Layout],
+    node_count: typing.Callable[[dict], int],
+    summary: str,
+    params: typing.Sequence[str],
+) -> None:
+    """Register a topology kind under ``name`` (see module docstring)."""
+    TOPOLOGIES.register(
+        name, TopologyProvider(build, node_count), summary=summary, params=params
+    )
+
+
+def build_layout(spec: TopologySpec, rng: typing.Any = None) -> Layout:
+    """Realize ``spec`` into a :class:`Layout` using ``rng`` for randomness."""
+    provider = TOPOLOGIES.get(spec.kind)
+    try:
+        return provider.build(spec.kwargs(), rng)
+    except TypeError as error:
+        raise ValueError(
+            f"bad parameters for topology {spec.kind!r}: {error}"
+        ) from None
+
+
+def topology_node_count(spec: TopologySpec) -> int:
+    """Number of nodes ``spec`` deploys, without building the layout."""
+    provider = TOPOLOGIES.get(spec.kind)
+    try:
+        return provider.node_count(spec.kwargs())
+    except TypeError as error:
+        raise ValueError(
+            f"bad parameters for topology {spec.kind!r}: {error}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Built-in kinds.
+# ---------------------------------------------------------------------------
+
+
+def _build_grid(params: dict, rng: typing.Any) -> Layout:
+    def build(rows: int = 6, cols: int = 6, spacing_m: float = 40.0) -> Layout:
+        return grid_layout(rows, cols, spacing_m)
+
+    return build(**params)
+
+
+def _grid_count(params: dict) -> int:
+    def count(rows: int = 6, cols: int = 6, spacing_m: float = 40.0) -> int:
+        return rows * cols
+
+    return count(**params)
+
+
+def _build_line(params: dict, rng: typing.Any) -> Layout:
+    def build(n: int = 6, spacing_m: float = 40.0) -> Layout:
+        return line_layout(n, spacing_m)
+
+    return build(**params)
+
+
+def _line_count(params: dict) -> int:
+    def count(n: int = 6, spacing_m: float = 40.0) -> int:
+        return n
+
+    return count(**params)
+
+
+def _build_uniform(params: dict, rng: typing.Any) -> Layout:
+    def build(
+        n: int = 36,
+        width_m: float = 200.0,
+        height_m: float = 200.0,
+        connect_range_m: float | None = None,
+    ) -> Layout:
+        return random_layout(
+            n, width_m, height_m, rng, connect_range_m=connect_range_m
+        )
+
+    return build(**params)
+
+
+def _uniform_count(params: dict) -> int:
+    def count(
+        n: int = 36,
+        width_m: float = 200.0,
+        height_m: float = 200.0,
+        connect_range_m: float | None = None,
+    ) -> int:
+        return n
+
+    return count(**params)
+
+
+def _build_clustered(params: dict, rng: typing.Any) -> Layout:
+    def build(
+        n: int = 36,
+        width_m: float = 200.0,
+        height_m: float = 200.0,
+        clusters: int = 3,
+        sigma_m: float = 20.0,
+        connect_range_m: float | None = None,
+    ) -> Layout:
+        return clustered_layout(
+            n,
+            width_m,
+            height_m,
+            rng,
+            clusters=clusters,
+            sigma_m=sigma_m,
+            connect_range_m=connect_range_m,
+        )
+
+    return build(**params)
+
+
+def _clustered_count(params: dict) -> int:
+    def count(
+        n: int = 36,
+        width_m: float = 200.0,
+        height_m: float = 200.0,
+        clusters: int = 3,
+        sigma_m: float = 20.0,
+        connect_range_m: float | None = None,
+    ) -> int:
+        return n
+
+    return count(**params)
+
+
+def _build_from_file(params: dict, rng: typing.Any) -> Layout:
+    def build(positions: tuple = ()) -> Layout:
+        if not positions:
+            raise ValueError(
+                "from-file needs inline positions; construct the spec with "
+                "TopologySpec.from_file(path)"
+            )
+        ids = sorted(int(node) for node, _x, _y in positions)
+        if ids != list(range(len(ids))):
+            raise ValueError(
+                "from-file node ids must be contiguous 0..n-1 (the scenario "
+                f"harness indexes nodes by id); got {ids}"
+            )
+        return Layout(
+            {int(node): Position(float(x), float(y)) for node, x, y in positions}
+        )
+
+    return build(**params)
+
+
+def _from_file_count(params: dict) -> int:
+    def count(positions: tuple = ()) -> int:
+        return len(positions)
+
+    return count(**params)
+
+
+register_topology(
+    "grid",
+    _build_grid,
+    _grid_count,
+    summary="the paper's rows x cols lattice (Section 4.1)",
+    params=("rows=6", "cols=6", "spacing_m=40"),
+)
+register_topology(
+    "line",
+    _build_line,
+    _line_count,
+    summary="nodes on a line (the Section 2.2 multi-hop analysis shape)",
+    params=("n=6", "spacing_m=40"),
+)
+register_topology(
+    "uniform-random",
+    _build_uniform,
+    _uniform_count,
+    summary="uniform random placement, optionally resampled until connected",
+    params=("n=36", "width_m=200", "height_m=200", "connect_range_m=None"),
+)
+register_topology(
+    "clustered",
+    _build_clustered,
+    _clustered_count,
+    summary="gaussian clusters around uniformly placed cluster heads",
+    params=(
+        "n=36",
+        "width_m=200",
+        "height_m=200",
+        "clusters=3",
+        "sigma_m=20",
+        "connect_range_m=None",
+    ),
+)
+register_topology(
+    "from-file",
+    _build_from_file,
+    _from_file_count,
+    summary="explicit positions inlined from a JSON file (TopologySpec.from_file)",
+    params=("positions=((id, x, y), ...)",),
+)

@@ -6,5 +6,13 @@ from repro.traffic.generators import (
     PoissonSource,
     SourceStats,
 )
+from repro.traffic.registry import TRAFFIC, build_source
 
-__all__ = ["AudioBurstSource", "CbrSource", "PoissonSource", "SourceStats"]
+__all__ = [
+    "AudioBurstSource",
+    "CbrSource",
+    "PoissonSource",
+    "SourceStats",
+    "TRAFFIC",
+    "build_source",
+]

@@ -1,0 +1,118 @@
+"""The traffic-source registry: per-sender workload selection by name.
+
+Scenario configs refer to traffic models by registry name — uniformly via
+``ScenarioConfig.traffic`` or per sender via ``ScenarioConfig.traffic_mix``
+— and the scenario builder resolves the name here.  Each factory receives
+the full config so it can apply the scenario's rate/payload/stop
+parameters the way the historical hard-wired construction did.
+
+Registered sources:
+
+``cbr``
+    Constant bit rate at ``rate_bps`` (the paper's Section 4.1 workload).
+``poisson``
+    Poisson arrivals with mean ``rate_bps``.
+``audio`` (alias ``onoff``)
+    EnviroMic-style on/off bursts: silence, then a dense audio clip.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.registry import Registry
+from repro.traffic.generators import (
+    AudioBurstSource,
+    CbrSource,
+    PoissonSource,
+    SubmitFn,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.models.scenario import ScenarioConfig
+    from repro.sim.simulator import Simulator
+
+#: ``(sim, node_id, submit, config) -> source``
+SourceFactory = typing.Callable[
+    ["Simulator", int, SubmitFn, "ScenarioConfig"], typing.Any
+]
+
+TRAFFIC: Registry[SourceFactory] = Registry("traffic source")
+
+
+def _cbr(
+    sim: "Simulator", node_id: int, submit: SubmitFn, config: "ScenarioConfig"
+) -> CbrSource:
+    return CbrSource(
+        sim,
+        node_id,
+        config.sink,
+        submit,
+        rate_bps=config.rate_bps,
+        payload_bytes=config.payload_bytes,
+        stop_s=config.sim_time_s,
+    )
+
+
+def _poisson(
+    sim: "Simulator", node_id: int, submit: SubmitFn, config: "ScenarioConfig"
+) -> PoissonSource:
+    return PoissonSource(
+        sim,
+        node_id,
+        config.sink,
+        submit,
+        mean_rate_bps=config.rate_bps,
+        payload_bytes=config.payload_bytes,
+        stop_s=config.sim_time_s,
+    )
+
+
+def _audio(
+    sim: "Simulator", node_id: int, submit: SubmitFn, config: "ScenarioConfig"
+) -> AudioBurstSource:
+    return AudioBurstSource(
+        sim,
+        node_id,
+        config.sink,
+        submit,
+        payload_bytes=config.payload_bytes,
+        stop_s=config.sim_time_s,
+    )
+
+
+TRAFFIC.register(
+    "cbr",
+    _cbr,
+    summary="constant bit rate at the scenario's rate_bps (paper default)",
+    params=("rate_bps", "payload_bytes"),
+)
+TRAFFIC.register(
+    "poisson",
+    _poisson,
+    summary="Poisson arrivals with mean rate_bps (memoryless sensing)",
+    params=("rate_bps", "payload_bytes"),
+)
+TRAFFIC.register(
+    "audio",
+    _audio,
+    summary="EnviroMic-style on/off audio bursts (64 kb/s clips)",
+    params=("payload_bytes",),
+)
+TRAFFIC.register(
+    "onoff",
+    _audio,
+    summary="alias for 'audio' (generic on/off burst source)",
+    params=("payload_bytes",),
+)
+
+
+def build_source(
+    name: str,
+    sim: "Simulator",
+    node_id: int,
+    submit: SubmitFn,
+    config: "ScenarioConfig",
+) -> typing.Any:
+    """Attach the named traffic source to ``node_id`` and return it."""
+    return TRAFFIC.get(name)(sim, node_id, submit, config)

@@ -255,3 +255,92 @@ class TestScaleFromArgs:
         scale = _scale_from_args(parse("fig5", "--paper", "--runs", "2"))
         assert scale.n_runs == 2
         assert scale.sim_time_s == 5000.0
+
+
+class TestScenariosCli:
+    def test_list_shows_every_registry(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("grid", "line", "uniform-random", "clustered",
+                     "from-file", "unit-disc", "log-normal", "distance-prr",
+                     "cbr", "poisson", "audio", "Cabletron", "Micaz"):
+            assert name in out
+
+    def test_requires_subcommand(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["scenarios"])
+
+
+class TestRunCli:
+    def test_composed_run_renders_report(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "run", "--topology", "line:n=4", "--propagation",
+            "distance-prr:exponent=6", "--traffic", "poisson", "--senders",
+            "2", "--burst", "10", "--sim-time", "20", "--no-cache",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "line(n=4)" in out
+        assert "distance-prr(exponent=6)" in out
+        assert "goodput" in out
+
+    def test_run_uses_cache(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.runner import ResultCache
+
+        argv = [
+            "run", "--topology", "line:n=4", "--senders", "2", "--burst",
+            "10", "--sim-time", "10", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        cache = ResultCache(tmp_path)
+        assert cache.disk_stats().entries == 1
+
+    def test_bad_topology_exits_cleanly(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown topology"):
+            main(["run", "--topology", "moebius", "--no-cache"])
+
+    def test_partitioned_deployment_exits_cleanly(self, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "split.json"
+        path.write_text(json.dumps([[0, 0], [10, 0], [900, 0], [910, 0]]))
+        with pytest.raises(SystemExit, match="partitioned"):
+            main([
+                "run", "--topology-file", str(path), "--senders", "2",
+                "--sim-time", "5", "--no-cache",
+            ])
+
+    def test_topology_and_file_are_exclusive(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "l.json"
+        path.write_text("[[0, 0], [10, 0]]")
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(["run", "--topology", "grid", "--topology-file", str(path),
+                  "--no-cache"])
+
+    def test_output_writes_report_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "report.txt"
+        rc = main([
+            "run", "--topology", "line:n=4", "--senders", "2", "--burst",
+            "10", "--sim-time", "10", "--no-cache", "--output",
+            str(out_file),
+        ])
+        assert rc == 0
+        assert "scenario" in out_file.read_text()

@@ -44,6 +44,38 @@ GOLDEN_PROTOTYPE_DIGEST = (
     "bc80e69b5ff25ed8d99a7a399fd4af2a03b0df2c72ec4a2fb6f2d5241cc41cee"
 )
 
+#: Same contract for the scenario-composition axes: one non-grid scenario
+#: (random topology + log-normal shadowing + mixed radios + traffic mix),
+#: pinned so the generated-deployment and propagation code paths cannot
+#: drift silently either.
+GOLDEN_COMPOSED_DIGEST = (
+    "35153c5b6ad1a250e738ab84f745883f9b39819a16907241e154f823ec42fced"
+)
+
+
+def composed_config():
+    from repro.channel.propagation import PropagationSpec
+    from repro.models.scenario import RadioAssignment, ScenarioConfig
+    from repro.topology.registry import TopologySpec
+
+    return ScenarioConfig(
+        model="dual",
+        topology=TopologySpec.of(
+            # Dense relative to the 40 m radio range: shadowed links
+            # survive at this scenario's seed on every tier.
+            "uniform-random", n=12, width_m=70.0, height_m=70.0,
+            connect_range_m=30.0,
+        ),
+        propagation=PropagationSpec.of("log-normal", sigma_db=2.0),
+        high_radios=RadioAssignment(overrides=((0, "Cabletron"),)),
+        traffic_mix=((3, "poisson"),),
+        sink=0,
+        n_senders=4,
+        sim_time_s=30.0,
+        burst_packets=10,
+        seed=7,
+    )
+
 
 def golden_sweep(runner=None):
     return run_sweep(
@@ -65,6 +97,12 @@ class TestGoldenDigest:
             runner=SweepRunner(backend=SerialBackend()),
         )
         assert results_digest(results) == GOLDEN_PROTOTYPE_DIGEST
+
+    def test_composed_scenario_matches_pinned_digest(self):
+        assert (
+            results_digest([run_scenario(composed_config())])
+            == GOLDEN_COMPOSED_DIGEST
+        )
 
     def test_digest_is_sensitive_to_results(self):
         sweep = golden_sweep(SweepRunner(backend=SerialBackend()))
@@ -192,3 +230,7 @@ if __name__ == "__main__":  # pragma: no cover - digest (re)pin helper
         [1024.0, 2048.0], base_config=PrototypeConfig(n_messages=100)
     )
     print("GOLDEN_PROTOTYPE_DIGEST =", repr(results_digest(results)))
+    print(
+        "GOLDEN_COMPOSED_DIGEST =",
+        repr(results_digest([run_scenario(composed_config())])),
+    )

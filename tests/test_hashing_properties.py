@@ -14,9 +14,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.channel.propagation import PropagationSpec
 from repro.energy.radio_specs import RadioSpec
-from repro.models.scenario import ScenarioConfig
+from repro.models.scenario import RadioAssignment, ScenarioConfig
 from repro.runner import ShardSpec, canonical_json, config_key, shard_index
+from repro.topology.registry import TopologySpec
 
 # ---------------------------------------------------------------------------
 # Strategies.
@@ -107,6 +109,11 @@ class TestScenarioFieldSensitivity:
             rate_bps=BASE.high_spec.rate_bps + 1
         ),
         "multihop_range_m": 123.0,
+        "topology": TopologySpec.of("uniform-random", n=9, width_m=80.0,
+                                    height_m=80.0),
+        "propagation": PropagationSpec.of("log-normal", sigma_db=4.0),
+        "high_radios": RadioAssignment(overrides=((0, "Cabletron"),)),
+        "traffic_mix": ((1, "poisson"),),
     }
 
     @staticmethod
