@@ -32,6 +32,7 @@ import os
 import pytest
 
 from repro.models.sweeps import SweepData, SweepScale, run_sweep
+from repro.perf import collect_phases
 from repro.runner import runner_from_env
 
 
@@ -72,6 +73,32 @@ def cached_sweep(case: str, scale: SweepScale, rate_bps: float,
             case, scale, rate_bps=rate_bps, runner=runner_from_env(), **kwargs
         )
     return _sweep_cache[key]
+
+
+@pytest.fixture(autouse=True)
+def record_phase_timings(request):
+    """Attach per-phase scenario timings to the benchmark JSON artifact.
+
+    Every cell run in-process during the test accumulates its
+    ``routing_build`` / ``network_build`` / ``sim_loop`` wall-clock phases
+    (see :mod:`repro.perf.phases`); whatever accumulated lands in the
+    test's ``extra_info`` so the artifact records where sweep time went,
+    seeding the trajectory ``repro bench`` gates.  Cells fanned out to
+    worker processes (``REPRO_JOBS``/``REPRO_BACKEND``) accumulate in the
+    workers and are not transported back; cells served from the result
+    cache never run at all — both legitimately record nothing.
+    """
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    with collect_phases() as timings:
+        yield
+    if timings and benchmark is not None:
+        benchmark.extra_info["phase_timings"] = {
+            name: round(seconds, 6) for name, seconds in timings.items()
+        }
 
 
 @pytest.fixture

@@ -82,9 +82,15 @@ class LossModel:
 
 
 class Transmission:
-    """Bookkeeping record for one in-flight frame."""
+    """Bookkeeping record for one in-flight frame.
+
+    The record doubles as its own end-of-frame callback (appended to the
+    end event's callback list directly), saving a closure allocation per
+    frame on the hottest medium path.
+    """
 
     __slots__ = (
+        "medium",
         "sender",
         "frame",
         "start_s",
@@ -95,12 +101,14 @@ class Transmission:
 
     def __init__(
         self,
+        medium: "Medium",
         sender: "RadioPort",
         frame: Frame,
         start_s: float,
         end_s: float,
         receiver_listening: bool,
     ):
+        self.medium = medium
         self.sender = sender
         self.frame = frame
         self.start_s = start_s
@@ -109,6 +117,9 @@ class Transmission:
         self.corrupted = False
         #: Whether the addressed receiver could hear when the frame started.
         self.receiver_listening = receiver_listening
+
+    def __call__(self, _event: typing.Any) -> None:
+        self.medium._finish(self)
 
 
 class Medium:
@@ -209,11 +220,13 @@ class Medium:
         True if any active transmission is audible at the listener's
         position (energy detection), or the listener is itself sending.
         """
-        for tx in self._active:
+        active = self._active
+        if not active:
+            return False
+        is_neighbor = self._neighbor_index().is_neighbor
+        for tx in active:
             sender_id = tx.sender.node_id
-            if sender_id == node_id:
-                return True
-            if self.is_neighbor(sender_id, node_id):
+            if sender_id == node_id or is_neighbor(sender_id, node_id):
                 return True
         return False
 
@@ -227,11 +240,13 @@ class Medium:
         interference, delivery and receiver-side energy.
         """
         duration = sender.airtime(frame)
-        start, end = self.sim.now, self.sim.now + duration
+        start = self.sim.now
+        end = start + duration
         receiver_port = (
             self._ports.get(frame.dst) if not frame.is_broadcast else None
         )
         record = Transmission(
+            self,
             sender,
             frame,
             start,
@@ -257,7 +272,7 @@ class Medium:
 
         self._active.append(record)
         end_event = self.sim.timeout(duration)
-        end_event.callbacks.append(lambda _event: self._finish(record))
+        end_event.callbacks.append(record)
         return end_event
 
     def _corrupts(self, interferer: "RadioPort", victim: Transmission) -> bool:
@@ -273,7 +288,7 @@ class Medium:
             return True
         if victim_rx not in self._ports:
             return False
-        if not self.is_neighbor(interferer.node_id, victim_rx):
+        if not self._neighbor_index().is_neighbor(interferer.node_id, victim_rx):
             return False
         if self.capture_ratio is None:
             return True
@@ -292,37 +307,44 @@ class Medium:
         frame = record.frame
         sender_id = record.sender.node_id
         duration = record.end_s - record.start_s
+        ports = self._ports
+        index = self._neighbor_index()
+        audible = index.neighbors(sender_id)
+        is_broadcast = frame.is_broadcast
+        frame_dst = frame.dst
 
         # Receiver-side energy for everyone who heard the frame.  Charged
         # whether or not the frame decodes: the radio listened regardless.
         # Promiscuous listeners additionally get a copy of frames addressed
         # elsewhere (approximation: decodability at third parties follows
         # the addressed receiver's collision outcome).
-        for neighbor_id in self.neighbors(sender_id):
-            port = self._ports[neighbor_id]
+        for neighbor_id in audible:
+            port = ports[neighbor_id]
             if not port.is_listening:
                 continue
-            addressed = neighbor_id == frame.dst or frame.is_broadcast
+            addressed = neighbor_id == frame_dst or is_broadcast
             port.charge_reception(frame, duration, addressed=addressed)
             if port.promiscuous and not addressed and not record.corrupted:
                 port.deliver_overheard(frame)
 
-        if frame.is_broadcast:
-            for neighbor_id in self.neighbors(sender_id):
-                port = self._ports[neighbor_id]
+        if is_broadcast:
+            loss = self.loss
+            delivery_roll = self.propagation.delivery_roll
+            for neighbor_id in audible:
+                port = ports[neighbor_id]
                 if (
                     port.is_listening
-                    and not self.loss.is_lost()
-                    and self.propagation.delivery_roll(record.sender, neighbor_id)
+                    and not loss.is_lost()
+                    and delivery_roll(record.sender, neighbor_id)
                 ):
                     port.deliver(frame)
             self.frames_delivered += 1
             return
 
-        port = self._ports.get(frame.dst)
+        port = ports.get(frame_dst)
         if port is None:
             return
-        in_reach = self.is_neighbor(sender_id, frame.dst)
+        in_reach = index.is_neighbor(sender_id, frame_dst)
         if not in_reach or not record.receiver_listening or not port.is_listening:
             return
         if record.corrupted:

@@ -27,6 +27,10 @@ Examples
 
     repro scenarios list                   # registered composition axes
 
+    repro bench                            # smoke perf suite + regression gate
+    repro bench --suite full --threshold 0.1
+    repro bench --list                     # what each suite measures
+
     # scenarios beyond the paper's grid: compose topology x propagation x
     # radios x traffic; cells hash into the same cache/shard machinery.
     repro run --topology uniform-random:n=24,width_m=160,height_m=160,connect_range_m=60 \
@@ -461,6 +465,168 @@ def _cache_main(argv: typing.Sequence[str]) -> int:
 
 
 # ---------------------------------------------------------------------------
+# bench subcommand (the perf-regression gate).
+# ---------------------------------------------------------------------------
+
+
+def _bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "Run the declared perf suite, write BENCH_<rev>.json, and "
+            "gate on regressions vs a baseline report plus the "
+            "machine-independent speedup ratios (lazy routing must stay "
+            ">=10x the eager baseline at 1k nodes)."
+        ),
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="which case set to run (smoke is the CI gate; default)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the suite's cases and exit"
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=str,
+        default=".",
+        help="where BENCH_<rev>.json is written and baselines are found",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default="auto",
+        metavar="PATH|auto|none",
+        help=(
+            "report to compare against: a path, 'auto' (newest "
+            "BENCH_*.json of another rev in --output-dir; default), or "
+            "'none' to skip the comparison"
+        ),
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="tolerated fractional slowdown per case (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-wall",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help=(
+            "skip the wall-time comparison for cases whose baseline is "
+            "shorter than this (sub-100 ms deltas are scheduler noise on "
+            "shared runners; ratio gates still cover them; default 0.1)"
+        ),
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override every case's repeat count",
+    )
+    parser.add_argument(
+        "--compare-across-hosts",
+        action="store_true",
+        help=(
+            "gate wall times even when the baseline was recorded on a "
+            "different host class (by default only the machine-independent "
+            "ratio gates apply across hosts)"
+        ),
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and compare without writing BENCH_<rev>.json",
+    )
+    return parser
+
+
+def _bench_main(argv: typing.Sequence[str]) -> int:
+    from repro.perf import bench as perf_bench
+    from repro.perf.suite import bench_cases
+
+    args = _bench_parser().parse_args(list(argv))
+    if args.list:
+        for case in bench_cases(args.suite):
+            print(f"{case.name:26s} {case.summary} (x{case.repeats})")
+        return 0
+    if args.threshold < 0:
+        raise SystemExit("repro: error: --threshold must be non-negative")
+
+    report = perf_bench.run_suite(
+        args.suite,
+        repeats=args.repeats,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    for name, result in report.results.items():
+        ops = " ".join(
+            f"{key}={value:g}" for key, value in sorted(result.ops.items())
+        )
+        print(f"{name:26s} {result.wall_s:9.4f}s  {ops}")
+    for name, ratio in report.checks.items():
+        print(f"{name:26s} {ratio:9.1f}x")
+
+    failures = perf_bench.failed_gates(report)
+    if args.baseline != "none":
+        if args.baseline == "auto":
+            baseline_path = perf_bench.find_baseline(
+                args.output_dir, exclude_rev=report.rev
+            )
+        else:
+            baseline_path = args.baseline
+        if baseline_path is None:
+            print("no baseline BENCH_*.json found; comparison skipped")
+        else:
+            try:
+                baseline = perf_bench.load_report(baseline_path)
+            except (OSError, ValueError, KeyError, TypeError, AttributeError) as error:
+                raise SystemExit(f"repro: bench: bad baseline: {error}")
+            if not args.compare_across_hosts and not perf_bench.walls_comparable(
+                report, baseline
+            ):
+                # A laptop-recorded baseline must not wall-gate a CI
+                # runner (and vice versa): absolute times only compare
+                # within one host class.  The ratio gates still apply;
+                # committing this run's BENCH json starts a trajectory
+                # this host can be gated against.
+                print(
+                    f"baseline: {baseline_path} (rev {baseline.rev}) was "
+                    f"recorded on {baseline.host or 'an untagged host'}; "
+                    f"this run is {report.host}.  Wall-time comparison "
+                    "skipped (ratio gates still checked); pass "
+                    "--compare-across-hosts to force it."
+                )
+            else:
+                regressions = perf_bench.compare_reports(
+                    report,
+                    baseline,
+                    threshold=args.threshold,
+                    min_wall_s=args.min_wall,
+                )
+                print(
+                    f"baseline: {baseline_path} (rev {baseline.rev}, "
+                    f"{len(regressions)} regression(s) at "
+                    f">{args.threshold * 100:.0f}% slowdown)"
+                )
+                failures.extend(
+                    f"regression {reg.describe()}" for reg in regressions
+                )
+
+    if not args.no_write:
+        path = perf_bench.write_report(report, args.output_dir)
+        print(f"wrote {path}")
+    if failures:
+        for failure in failures:
+            print(f"repro: bench: FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # scenarios and run subcommands (the composition surface).
 # ---------------------------------------------------------------------------
 
@@ -578,6 +744,16 @@ def _run_parser() -> argparse.ArgumentParser:
         "--traffic", type=str, default="cbr", help="uniform traffic source"
     )
     parser.add_argument(
+        "--routing",
+        choices=("auto", "eager", "lazy"),
+        default="auto",
+        help=(
+            "route-build engine: auto (default) switches from the eager "
+            "all-pairs table to the lazy array-backed engine beyond 256 "
+            "nodes; eager/lazy force one"
+        ),
+    )
+    parser.add_argument(
         "--traffic-mix",
         type=str,
         default=None,
@@ -689,6 +865,7 @@ def _run_config(args: argparse.Namespace) -> ScenarioConfig:
             seed=args.seed,
             traffic=args.traffic,
             high_radios=high_radios,
+            routing=args.routing,
         )
         if args.traffic_mix is not None:
             changes["traffic_mix"] = _parse_pairs(args.traffic_mix, "--traffic-mix")
@@ -727,11 +904,13 @@ def _run_main(argv: typing.Sequence[str]) -> int:
 
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
-    """CLI entry point: artifacts, ``run``, ``scenarios``, ``merge-shards``,
-    or ``cache``."""
+    """CLI entry point: artifacts, ``run``, ``bench``, ``scenarios``,
+    ``merge-shards``, or ``cache``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "run":
         return _run_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
     if argv and argv[0] == "scenarios":
         return _scenarios_main(argv[1:])
     if argv and argv[0] == "merge-shards":

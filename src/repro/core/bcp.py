@@ -50,7 +50,7 @@ from repro.core.messages import (
 from repro.mac.base import ContentionMac
 from repro.mac.frames import Frame, FrameKind
 from repro.net.packets import DataPacket
-from repro.net.routing import RoutingError, RoutingTable
+from repro.net.routing import RoutingError, RoutingLike
 from repro.net.shortcut import ShortcutLearner
 from repro.radio.radio import HighPowerRadio
 
@@ -140,8 +140,8 @@ class BcpAgent:
         low_mac: ContentionMac,
         high_mac: ContentionMac,
         high_radio: HighPowerRadio,
-        low_routing: RoutingTable,
-        high_routing: RoutingTable,
+        low_routing: RoutingLike,
+        high_routing: RoutingLike,
         deliver: typing.Callable[[DataPacket], None],
         address_map: typing.Any = None,
     ):

@@ -152,6 +152,9 @@ class ContentionMac:
     def _send_with_retries(self, frame: Frame) -> typing.Generator:
         needs_ack = frame.require_ack and not frame.is_broadcast
         attempts = 1 + (self.params.max_retries if needs_ack else 0)
+        # The ack wait depends only on MAC params and the radio rate —
+        # compute it once per frame, not once per retry attempt.
+        ack_wait_s = self._ack_wait_s() if needs_ack else 0.0
         for attempt in range(attempts):
             if attempt > 0:
                 self.retransmissions += 1
@@ -164,7 +167,7 @@ class ContentionMac:
             ack_event = self.sim.event()
             key = (frame.dst, frame.seq)
             self._pending_ack[key] = ack_event
-            timeout = self.sim.timeout(self._ack_wait_s())
+            timeout = self.sim.timeout(ack_wait_s)
             outcome = yield ack_event | timeout
             self._pending_ack.pop(key, None)
             if ack_event in outcome:

@@ -15,7 +15,7 @@ import typing
 from repro.mac.base import ContentionMac
 from repro.mac.frames import Frame, FrameKind
 from repro.net.packets import DataPacket
-from repro.net.routing import RoutingError, RoutingTable
+from repro.net.routing import RoutingError, RoutingLike
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import Simulator
@@ -37,7 +37,7 @@ class ForwardingAgent:
         sim: "Simulator",
         node_id: int,
         mac: ContentionMac,
-        routing: RoutingTable,
+        routing: RoutingLike,
         deliver: typing.Callable[[DataPacket], None],
     ):
         self.sim = sim

@@ -27,6 +27,10 @@ plain config data — hashable, cacheable and sweepable like any other cell:
 * ``traffic`` / ``traffic_mix`` — registry names from
   :mod:`repro.traffic.registry`; the mix overrides the uniform choice per
   sender (e.g. a few audio nodes among CBR ones).
+* ``routing`` — the route-build engine: ``auto`` (default) keeps the
+  paper's eager all-pairs table up to :data:`LAZY_ROUTING_THRESHOLD`
+  nodes and switches to the lazy array-backed engine beyond it (see
+  :mod:`repro.net.routing`); ``eager``/``lazy`` force one.
 
 Paper defaults (Section 4.1): 200×200 m² grid of 36 nodes, 5000 s runs,
 32 B sensor packets, 1024 B 802.11 packets, buffer 5000 × 32 B, burst
@@ -72,7 +76,16 @@ from repro.mac.csma import SensorCsmaMac
 from repro.mac.dcf import DcfMac
 from repro.models.forwarding import ForwardingAgent
 from repro.net.addressing import AddressMap
-from repro.net.routing import RoutingTable, build_routing
+from repro.net.csr import CsrGraph
+from repro.net.routing import (
+    ENGINE_EAGER,
+    ENGINE_LAZY,
+    LazyRoutingTable,
+    RoutingLike,
+    RoutingTable,
+    build_routing,
+)
+from repro.perf.phases import phase
 from repro.radio.radio import (
     CATEGORY_OVERHEAR_BODY,
     CATEGORY_OVERHEAR_HEADER,
@@ -113,6 +126,18 @@ PAPER_BURST_SIZES = (10, 100, 500, 1000, 2500)
 
 #: The sender counts on the figures' x axes.
 PAPER_SENDER_COUNTS = (5, 10, 15, 20, 25, 30, 35)
+
+#: Deployment size above which ``routing="auto"`` switches to the lazy
+#: array-backed engine.  Below it the historical eager engine is kept:
+#: its threaded rng tie-breaking is what every pinned golden digest
+#: encodes, and at paper scale (36 nodes) the build cost is negligible.
+#: Above it the eager all-pairs build is the O(n²) wall, and the lazy
+#: engine's per-destination tie-breaking (order-independent, documented
+#: in :mod:`repro.net.routing`) takes over.
+LAZY_ROUTING_THRESHOLD = 256
+
+#: Routing engine selectors accepted by :attr:`ScenarioConfig.routing`.
+ROUTING_MODES = ("auto", ENGINE_EAGER, ENGINE_LAZY)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -202,10 +227,21 @@ class ScenarioConfig:
     #: Per-sender traffic overrides ``(node_id, source_name)``; unlisted
     #: senders use ``traffic``.
     traffic_mix: tuple[tuple[int, str], ...] = ()
+    #: Routing engine: ``"auto"`` picks eager below
+    #: :data:`LAZY_ROUTING_THRESHOLD` nodes and lazy above; ``"eager"`` /
+    #: ``"lazy"`` force one.  Part of the cell's cached identity because
+    #: the engines' seeded tie-break schemes differ (see
+    #: :mod:`repro.net.routing`).
+    routing: str = "auto"
 
     def __post_init__(self) -> None:
         if self.model not in (MODEL_SENSOR, MODEL_WIFI, MODEL_DUAL):
             raise ValueError(f"unknown model {self.model!r}")
+        if self.routing not in ROUTING_MODES:
+            raise ValueError(
+                f"unknown routing engine {self.routing!r}; "
+                f"expected one of {ROUTING_MODES}"
+            )
         if self.topology is not None and self.topology.kind not in TOPOLOGIES:
             raise ValueError(
                 f"unknown topology {self.topology.kind!r}; "
@@ -289,6 +325,14 @@ class ScenarioConfig:
             if node == node_id:
                 return name
         return self.traffic
+
+    def routing_engine(self) -> str:
+        """The resolved routing engine name (``"eager"`` or ``"lazy"``)."""
+        if self.routing != "auto":
+            return self.routing
+        if self.n_nodes > LAZY_ROUTING_THRESHOLD:
+            return ENGINE_LAZY
+        return ENGINE_EAGER
 
     def replace(self, **changes: typing.Any) -> "ScenarioConfig":
         """Copy with ``changes`` applied."""
@@ -386,8 +430,8 @@ def _propagation_for(
 
 
 def _audibility_routing(
-    layout: Layout, medium: Medium, rng: typing.Any
-) -> RoutingTable:
+    layout: Layout, medium: Medium, rng: typing.Any, engine: str = ENGINE_EAGER
+) -> RoutingLike:
     """Routing over the links the medium can actually carry this run.
 
     With a non-default propagation model the nominal range lies: a
@@ -396,7 +440,20 @@ def _audibility_routing(
     index *is* the per-run audibility, so build the routing graph from it
     — keeping only bidirectional links, since every tier's protocols need
     the reverse direction (CSMA acks, BCP's wakeup handshake).
+
+    The lazy engine skips networkx entirely: the bidirectional link list
+    goes straight into a :class:`~repro.net.csr.CsrGraph`.
     """
+    if engine == ENGINE_LAZY:
+        links = [
+            (a, b)
+            for a in layout.node_ids
+            for b in medium.neighbors(a)
+            if a < b and medium.is_neighbor(b, a)
+        ]
+        return LazyRoutingTable(
+            CsrGraph.from_links(layout.node_ids, links), rng=rng
+        )
     graph = networkx.Graph()
     graph.add_nodes_from(layout.node_ids)
     for a in layout.node_ids:
@@ -408,7 +465,7 @@ def _audibility_routing(
 
 def _build_low_stack(
     config: ScenarioConfig, sim: Simulator, built: _BuiltNetwork
-) -> RoutingTable:
+) -> RoutingLike:
     layout = built.layout
     assert layout is not None
     loss_rng = sim.rng.stream("channel.low.loss")
@@ -427,18 +484,24 @@ def _build_low_stack(
         )
         built.low_radios[node] = radio
         built.low_macs[node] = SensorCsmaMac(sim, radio)
-    if config.propagation is not None:
-        return _audibility_routing(
-            layout, medium, rng=sim.rng.stream("routing.low")
+    engine = config.routing_engine()
+    with phase("routing_build"):
+        if config.propagation is not None:
+            return _audibility_routing(
+                layout, medium, rng=sim.rng.stream("routing.low"),
+                engine=engine,
+            )
+        return build_routing(
+            layout,
+            config.low_spec.range_m,
+            rng=sim.rng.stream("routing.low"),
+            engine=engine,
         )
-    return build_routing(
-        layout, config.low_spec.range_m, rng=sim.rng.stream("routing.low")
-    )
 
 
 def _build_high_stack(
     config: ScenarioConfig, sim: Simulator, built: _BuiltNetwork
-) -> RoutingTable:
+) -> RoutingLike:
     layout = built.layout
     assert layout is not None
     loss_rng = sim.rng.stream("channel.high.loss")
@@ -456,26 +519,29 @@ def _build_high_stack(
         )
         built.high_radios[node] = radio
         built.high_macs[node] = DcfMac(sim, radio)
-    if config.high_radios is None and config.propagation is None:
-        # Homogeneous fleet on the paper's channel: the historical
-        # single-range construction.
-        return build_routing(
-            layout,
-            config.effective_high_spec().range_m,
-            rng=sim.rng.stream("routing.high"),
+    engine = config.routing_engine()
+    with phase("routing_build"):
+        if config.high_radios is None and config.propagation is None:
+            # Homogeneous fleet on the paper's channel: the historical
+            # single-range construction.
+            return build_routing(
+                layout,
+                config.effective_high_spec().range_m,
+                rng=sim.rng.stream("routing.high"),
+                engine=engine,
+            )
+        # Mixed fleets and/or shadowed channels: route over the links the
+        # medium will actually carry (bidirectional audibility — the index
+        # already accounts for per-node ranges and per-run link gains).
+        return _audibility_routing(
+            layout, medium, rng=sim.rng.stream("routing.high"), engine=engine
         )
-    # Mixed fleets and/or shadowed channels: route over the links the
-    # medium will actually carry (bidirectional audibility — the index
-    # already accounts for per-node ranges and per-run link gains).
-    return _audibility_routing(
-        layout, medium, rng=sim.rng.stream("routing.high")
-    )
 
 
 def _check_sender_routes(
     config: ScenarioConfig,
     senders: typing.Sequence[int],
-    tables: typing.Mapping[str, RoutingTable],
+    tables: typing.Mapping[str, RoutingLike],
 ) -> None:
     """Fail fast (and helpfully) when a sender cannot reach the sink.
 
@@ -510,7 +576,7 @@ def build_network(config: ScenarioConfig, sim: Simulator) -> _BuiltNetwork:
     }
     built.collector = SinkCollector(sim, config.sink)
 
-    route_tables: dict[str, RoutingTable] = {}
+    route_tables: dict[str, RoutingLike] = {}
     if config.model == MODEL_SENSOR:
         low_table = _build_low_stack(config, sim, built)
         route_tables["low"] = low_table
@@ -666,10 +732,17 @@ def _collect_counters(built: _BuiltNetwork) -> dict[str, float]:
 
 
 def run_scenario(config: ScenarioConfig) -> RunResult:
-    """Run one scenario to completion and extract the paper's metrics."""
+    """Run one scenario to completion and extract the paper's metrics.
+
+    When a :func:`repro.perf.phases.collect_phases` collector is active,
+    the run reports ``network_build`` (which includes ``routing_build``)
+    and ``sim_loop`` wall-clock phases into it.
+    """
     sim = Simulator(seed=config.seed)
-    built = build_network(config, sim)
-    sim.run(until=config.sim_time_s)
+    with phase("network_build"):
+        built = build_network(config, sim)
+    with phase("sim_loop"):
+        sim.run(until=config.sim_time_s)
     generated = float(
         sum(source.stats.bits_generated for source in built.sources)
     )

@@ -7,16 +7,27 @@ from repro.net.addressing import (
     format_eui48,
     format_short_address,
 )
+from repro.net.csr import CsrGraph
 from repro.net.packets import DataPacket
-from repro.net.routing import RoutingError, RoutingTable, build_routing, tree_depths
+from repro.net.routing import (
+    LazyRoutingTable,
+    RoutingError,
+    RoutingLike,
+    RoutingTable,
+    build_routing,
+    tree_depths,
+)
 from repro.net.shortcut import ShortcutLearner
 
 __all__ = [
     "AddressMap",
+    "CsrGraph",
     "DataPacket",
     "HIGH_INTERFACE",
     "LOW_INTERFACE",
+    "LazyRoutingTable",
     "RoutingError",
+    "RoutingLike",
     "RoutingTable",
     "ShortcutLearner",
     "build_routing",

@@ -1,0 +1,163 @@
+"""Compact CSR-style adjacency for the routing hot path.
+
+The routing engines only need "who are node X's neighbors, in ascending id
+order" — a question networkx answers through layers of dict-of-dicts.  A
+:class:`CsrGraph` flattens the whole adjacency into two int lists (the
+classic compressed-sparse-row layout): ``indices[indptr[i]:indptr[i + 1]]``
+are the neighbor *indexes* of the node with index ``i``, sorted ascending.
+Node ids are mapped onto ``0..n-1`` in ascending id order, so index order
+and id order agree — a BFS over indexes breaks ties exactly like one over
+sorted ids.
+
+Builders cover the three places routing graphs come from:
+
+* :meth:`CsrGraph.from_layout` — a uniform radio range over a
+  :class:`~repro.topology.layout.Layout`, found with a spatial hash
+  (O(n·k) for k candidates per cell neighborhood) instead of the O(n²)
+  pairwise scan ``Layout.graph`` performs.  Edge-for-edge identical to
+  ``layout.graph(range_m)`` (same ``in_range`` tolerance).
+* :meth:`CsrGraph.from_links` — an explicit link list, e.g. the
+  bidirectionally-audible links a :class:`~repro.channel.medium.Medium`'s
+  neighbor index reports for a shadowed channel.
+* :meth:`CsrGraph.from_networkx` — any existing connectivity graph (tests,
+  fallback interop).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import typing
+
+from repro.topology.geometry import RANGE_EPSILON_M, in_range
+
+if typing.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    import networkx
+
+    from repro.topology.layout import Layout
+
+
+class CsrGraph:
+    """An immutable undirected graph over int node ids, stored as CSR arrays.
+
+    Attributes
+    ----------
+    ids:
+        All node ids, ascending; ``ids[i]`` is the id of index ``i``.
+    indptr / indices:
+        CSR layout in *index* space; every row is sorted ascending.
+    """
+
+    __slots__ = ("ids", "indptr", "indices", "_index_of")
+
+    def __init__(
+        self,
+        ids: typing.Sequence[int],
+        neighbors_by_id: typing.Mapping[int, typing.Sequence[int]],
+    ):
+        self.ids: tuple[int, ...] = tuple(sorted(ids))
+        self._index_of: dict[int, int] = {
+            node: i for i, node in enumerate(self.ids)
+        }
+        index_of = self._index_of
+        indptr = [0]
+        indices: list[int] = []
+        for node in self.ids:
+            row = sorted(index_of[other] for other in neighbors_by_id.get(node, ()))
+            indices.extend(row)
+            indptr.append(len(indices))
+        self.indptr: list[int] = indptr
+        self.indices: list[int] = indices
+
+    # -- builders --------------------------------------------------------
+
+    @classmethod
+    def from_layout(cls, layout: "Layout", range_m: float) -> "CsrGraph":
+        """Connectivity at a uniform ``range_m``, via a spatial hash.
+
+        Produces exactly the edge set of ``layout.graph(range_m)`` without
+        the O(n²) pairwise distance scan.
+        """
+        # Cells are sized to in_range()'s *inclusive* reach (nominal range
+        # plus the boundary epsilon): a link the predicate accepts then
+        # never spans more than one cell per axis, so the 3x3 window below
+        # cannot miss grid neighbors placed at exactly the nominal range.
+        cell = max(range_m + RANGE_EPSILON_M, 1e-9)
+        positions = {node: layout.position(node) for node in layout.node_ids}
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for node, pos in positions.items():
+            buckets.setdefault(
+                (math.floor(pos.x / cell), math.floor(pos.y / cell)), []
+            ).append(node)
+        adjacency: dict[int, list[int]] = {}
+        for node, pos in positions.items():
+            cx, cy = math.floor(pos.x / cell), math.floor(pos.y / cell)
+            found: list[int] = []
+            for bx in range(cx - 1, cx + 2):
+                for by in range(cy - 1, cy + 2):
+                    for other in buckets.get((bx, by), ()):
+                        if other != node and in_range(
+                            pos, positions[other], range_m
+                        ):
+                            found.append(other)
+            adjacency[node] = found
+        return cls(tuple(positions), adjacency)
+
+    @classmethod
+    def from_links(
+        cls,
+        node_ids: typing.Iterable[int],
+        links: typing.Iterable[tuple[int, int]],
+    ) -> "CsrGraph":
+        """Graph over ``node_ids`` with the given undirected ``links``."""
+        adjacency: dict[int, list[int]] = {node: [] for node in node_ids}
+        for a, b in links:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        return cls(tuple(adjacency), adjacency)
+
+    @classmethod
+    def from_networkx(cls, graph: "networkx.Graph") -> "CsrGraph":
+        """Flatten an existing networkx connectivity graph."""
+        return cls(
+            tuple(graph.nodes),
+            {node: list(graph.neighbors(node)) for node in graph.nodes},
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Node count."""
+        return len(self.ids)
+
+    @property
+    def n_edges(self) -> int:
+        """Undirected edge count."""
+        return len(self.indices) // 2
+
+    def index(self, node_id: int) -> int:
+        """The CSR index of ``node_id`` (KeyError if absent)."""
+        return self._index_of[node_id]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._index_of
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def neighbor_ids(self, node_id: int) -> list[int]:
+        """Neighbor ids of ``node_id``, ascending."""
+        i = self._index_of[node_id]
+        ids = self.ids
+        return [ids[j] for j in self.indices[self.indptr[i] : self.indptr[i + 1]]]
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are directly linked (O(log degree))."""
+        ia = self._index_of.get(a)
+        ib = self._index_of.get(b)
+        if ia is None or ib is None:
+            return False
+        lo, hi = self.indptr[ia], self.indptr[ia + 1]
+        j = bisect.bisect_left(self.indices, ib, lo, hi)
+        return j < hi and self.indices[j] == ib

@@ -2,33 +2,136 @@
 
 Section 4.1: "To decouple the routing effects on performance, two separate
 trees that go over sensor and IEEE 802.11 radios are built."  We generalize
-the collection tree to an all-pairs next-hop table (computed once from the
-connectivity graph with networkx BFS) because BCP's wake-up handshake also
-routes *away* from the sink: the WAKEUP travels sender → receiver and the
-WAKEUP-ACK travels back.
+the collection tree to a next-hop table because BCP's wake-up handshake
+also routes *away* from the sink: the WAKEUP travels sender → receiver and
+the WAKEUP-ACK travels back.
+
+Two engines implement the same query API:
+
+* :class:`RoutingTable` — the historical eager engine: one BFS per
+  destination, all destinations materialized at construction.  O(n · (V+E))
+  build, O(n²) storage; byte-compatible with every pinned golden digest.
+* :class:`LazyRoutingTable` — the scale engine: a shared
+  :class:`~repro.net.csr.CsrGraph` adjacency (int arrays, no networkx on
+  the hot path) plus per-destination BFS trees computed on first use and
+  memoized.  A collection-tree workload (sink + WAKEUP reverse paths)
+  computes O(senders + 1) trees instead of n, which is what makes 1k+
+  node deployments routable in milliseconds (see ``repro bench``).
 
 Tie-breaking between equal-length paths is deterministic by default
 (lowest neighbor id).  On a perfectly regular grid that concentrates every
 flow onto one row — a worst-case "backbone" that no real deployment's
 collection tree exhibits — so the evaluation passes a seeded ``rng`` to
 spread equal-cost routes across branches while keeping runs reproducible.
+Two seeded schemes exist:
+
+* ``threaded`` (the eager default) — one rng stream is consumed across
+  destinations in ascending-id order, exactly the historical behaviour
+  the pinned golden digests encode.  Inherently order-dependent, so it
+  cannot be computed lazily.
+* ``per-destination`` (the lazy engine's scheme, also available on the
+  eager engine via ``tie_break="per-destination"``) — a single 64-bit
+  seed is drawn from the caller's rng at construction and each
+  destination's tree shuffles with its own stream derived as
+  ``sha256("route-tie:<seed>:<dst>")``.  Trees are identical no matter
+  which destinations are computed, or in what order — the property that
+  makes laziness sound.
+
+Routes minimize hop count; all query methods raise :class:`RoutingError`
+for pairs with no connecting path (see :meth:`RoutingTable.next_hop`).
 """
 
 from __future__ import annotations
 
+import hashlib
+import random
 import typing
 
-import networkx
-
+from repro.net.csr import CsrGraph
 from repro.topology.layout import Layout
+
+#: Tie-break scheme names accepted by the eager engine.
+TIE_THREADED = "threaded"
+TIE_PER_DESTINATION = "per-destination"
 
 
 class RoutingError(Exception):
     """Raised when no route exists for a requested (src, dst) pair."""
 
 
-class RoutingTable:
-    """All-pairs next-hop routing over one connectivity graph.
+def destination_rng(tie_seed: int, dst: int) -> random.Random:
+    """The derived tie-break stream for one destination's BFS tree.
+
+    Well-mixed (sha256) so adjacent destination ids don't get correlated
+    Mersenne states, and a pure function of ``(tie_seed, dst)`` so a tree
+    computed lazily is identical to one computed in a full eager build.
+    """
+    digest = hashlib.sha256(f"route-tie:{tie_seed}:{dst}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class _QueryMixin:
+    """The query API shared by both engines (next_hop/hops/path/...)."""
+
+    def has_route(self, src: int, dst: int) -> bool:
+        """Whether a path from ``src`` to ``dst`` exists."""
+        raise NotImplementedError
+
+    def next_hop(self, src: int, dst: int) -> int:
+        """The neighbor of ``src`` on the shortest path to ``dst``.
+
+        Raises
+        ------
+        RoutingError
+            If the graph has no ``src`` → ``dst`` path (the pair is in
+            different components, or either node is isolated), or
+            ``src == dst`` (nothing to route).  Disconnected pairs are an
+            *expected* outcome for composed deployments — callers that can
+            degrade should probe :meth:`has_route` first.
+        """
+        raise NotImplementedError
+
+    def hops(self, src: int, dst: int) -> int:
+        """Path length in hops (0 for ``src == dst``).
+
+        Raises
+        ------
+        RoutingError
+            If the graph has no ``src`` → ``dst`` path.
+        """
+        raise NotImplementedError
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """The full node sequence ``src ... dst`` of the chosen route.
+
+        Raises
+        ------
+        RoutingError
+            If the graph has no ``src`` → ``dst`` path.
+        """
+        if src == dst:
+            return [src]
+        path = [src]
+        node = src
+        limit = len(self.node_ids) + 1
+        while node != dst:
+            node = self.next_hop(node, dst)
+            path.append(node)
+            if len(path) > limit:  # pragma: no cover - safety
+                raise RoutingError(f"routing loop from {src} to {dst}")
+        return path
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """All routable node ids."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+
+class RoutingTable(_QueryMixin):
+    """All-pairs next-hop routing over one connectivity graph (eager).
 
     Parameters
     ----------
@@ -38,6 +141,10 @@ class RoutingTable:
         Optional ``random.Random``-like stream; when given, ties between
         equal-cost parents break uniformly at random (deterministically
         for a seeded stream) instead of by lowest node id.
+    tie_break:
+        ``"threaded"`` (default, the historical golden-pinned scheme) or
+        ``"per-destination"`` (the lazy engine's order-independent scheme;
+        see the module docstring).  Ignored without ``rng``.
 
     Notes
     -----
@@ -45,52 +152,86 @@ class RoutingTable:
     on the chosen shortest path to ``v``.
     """
 
-    def __init__(self, graph: "networkx.Graph", rng: typing.Any = None):
+    def __init__(
+        self,
+        graph: "typing.Any",
+        rng: typing.Any = None,
+        tie_break: str = TIE_THREADED,
+    ):
+        if tie_break not in (TIE_THREADED, TIE_PER_DESTINATION):
+            raise ValueError(
+                f"unknown tie_break {tie_break!r}; expected "
+                f"{TIE_THREADED!r} or {TIE_PER_DESTINATION!r}"
+            )
         self.graph = graph
         self._rng = rng
+        self._tie_break = tie_break
+        self._tie_seed: int | None = None
+        if rng is not None and tie_break == TIE_PER_DESTINATION:
+            self._tie_seed = rng.getrandbits(64)
         self._next_hop: dict[tuple[int, int], int] = {}
         self._hops: dict[tuple[int, int], int] = {}
+        # Each node's base (ascending-id) neighbor order, computed ONCE:
+        # the historical build re-sorted every node's neighbors on every
+        # visit of every destination's BFS — an O(n · E log d) tax paid
+        # for data that never changes within a build.
+        self._base_order: dict[int, list[int]] = {
+            node: sorted(graph.neighbors(node)) for node in graph.nodes
+        }
+        self._node_ids: tuple[int, ...] = tuple(graph.nodes)
         self._build()
-
-    def _neighbor_order(self, node: int) -> list[int]:
-        neighbors = sorted(self.graph.neighbors(node))
-        if self._rng is not None:
-            self._rng.shuffle(neighbors)
-        return neighbors
 
     def _build(self) -> None:
         # BFS from every destination; parent choice order decides how ties
         # break (sorted = deterministic, shuffled = load-spreading).
-        for dst in sorted(self.graph.nodes):
+        base = self._base_order
+        next_hops, hops = self._next_hop, self._hops
+        for dst in sorted(self._node_ids):
+            if self._tie_seed is not None:
+                rng = destination_rng(self._tie_seed, dst)
+            else:
+                rng = self._rng
             parents = {dst: dst}
             depth = {dst: 0}
             frontier = [dst]
             while frontier:
                 next_frontier: list[int] = []
                 for node in frontier:
-                    for neighbor in self._neighbor_order(node):
+                    if rng is None:
+                        order = base[node]
+                    else:
+                        # A fresh copy per visit keeps the rng draw
+                        # sequence identical to the historical
+                        # sort-then-shuffle (shuffle consumption depends
+                        # only on list length).
+                        order = base[node][:]
+                        rng.shuffle(order)
+                    node_depth = depth[node] + 1
+                    for neighbor in order:
                         if neighbor not in parents:
                             parents[neighbor] = node
-                            depth[neighbor] = depth[node] + 1
+                            depth[neighbor] = node_depth
                             next_frontier.append(neighbor)
                 frontier = next_frontier
             for node, parent in parents.items():
                 if node != dst:
-                    self._next_hop[(node, dst)] = parent
-                    self._hops[(node, dst)] = depth[node]
+                    next_hops[(node, dst)] = parent
+                    hops[(node, dst)] = depth[node]
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """All routable node ids (graph insertion order)."""
+        return self._node_ids
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are directly linked."""
+        return self.graph.has_edge(a, b)
 
     def has_route(self, src: int, dst: int) -> bool:
         """Whether a path from ``src`` to ``dst`` exists."""
         return src == dst or (src, dst) in self._next_hop
 
     def next_hop(self, src: int, dst: int) -> int:
-        """The neighbor of ``src`` on the shortest path to ``dst``.
-
-        Raises
-        ------
-        RoutingError
-            If the graph has no path, or ``src == dst`` (nothing to route).
-        """
         if src == dst:
             raise RoutingError(f"node {src} routing to itself")
         try:
@@ -98,8 +239,9 @@ class RoutingTable:
         except KeyError:
             raise RoutingError(f"no route from {src} to {dst}") from None
 
+    next_hop.__doc__ = _QueryMixin.next_hop.__doc__
+
     def hops(self, src: int, dst: int) -> int:
-        """Path length in hops (0 for ``src == dst``)."""
         if src == dst:
             return 0
         try:
@@ -107,33 +249,216 @@ class RoutingTable:
         except KeyError:
             raise RoutingError(f"no route from {src} to {dst}") from None
 
-    def path(self, src: int, dst: int) -> list[int]:
-        """The full node sequence ``src ... dst`` of the chosen route."""
+    hops.__doc__ = _QueryMixin.hops.__doc__
+
+    def depths_to(self, sink: int) -> dict[int, int]:
+        """Hop distance of every node that can reach ``sink`` (incl. itself)."""
+        depths = {}
+        for node in self._node_ids:
+            if node == sink:
+                depths[node] = 0
+            else:
+                hops = self._hops.get((node, sink))
+                if hops is not None:
+                    depths[node] = hops
+        return depths
+
+
+class LazyRoutingTable(_QueryMixin):
+    """Per-destination BFS trees over a CSR adjacency, computed on demand.
+
+    Parameters
+    ----------
+    adjacency:
+        The shared :class:`~repro.net.csr.CsrGraph` (build it once from a
+        :class:`Layout`, a medium's neighbor index, or a networkx graph).
+    rng:
+        Optional seeded stream.  Exactly **one** 64-bit draw is consumed at
+        construction; every destination then shuffles with its own derived
+        stream (:func:`destination_rng`), so memoized trees are identical
+        regardless of query order.
+
+    Notes
+    -----
+    The first query toward a destination costs one BFS — O(V + E) int-array
+    work; every later query on the same destination is a dict+list lookup.
+    ``trees_computed`` counts the BFS runs (an ops counter ``repro bench``
+    records).
+    """
+
+    def __init__(self, adjacency: CsrGraph, rng: typing.Any = None):
+        self.adjacency = adjacency
+        self._tie_seed: int | None = (
+            None if rng is None else rng.getrandbits(64)
+        )
+        #: dst index → (parent index array, depth array); -1 = unreachable.
+        self._trees: dict[int, tuple[list[int], list[int]]] = {}
+        self.trees_computed = 0
+
+    @classmethod
+    def from_layout(
+        cls, layout: Layout, range_m: float, rng: typing.Any = None
+    ) -> "LazyRoutingTable":
+        """Lazy routing for radios of ``range_m`` deployed as ``layout``."""
+        return cls(CsrGraph.from_layout(layout, range_m), rng=rng)
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """All routable node ids, ascending."""
+        return self.adjacency.ids
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are directly linked."""
+        return self.adjacency.has_edge(a, b)
+
+    def _tree(self, dst_idx: int) -> tuple[list[int], list[int]]:
+        tree = self._trees.get(dst_idx)
+        if tree is not None:
+            return tree
+        csr = self.adjacency
+        indptr, indices = csr.indptr, csr.indices
+        n = len(csr.ids)
+        parent = [-1] * n
+        depth = [-1] * n
+        parent[dst_idx] = dst_idx
+        depth[dst_idx] = 0
+        rng = (
+            None
+            if self._tie_seed is None
+            else destination_rng(self._tie_seed, csr.ids[dst_idx])
+        )
+        frontier = [dst_idx]
+        while frontier:
+            next_frontier: list[int] = []
+            for node in frontier:
+                node_depth = depth[node] + 1
+                if rng is None:
+                    for j in range(indptr[node], indptr[node + 1]):
+                        neighbor = indices[j]
+                        if parent[neighbor] < 0:
+                            parent[neighbor] = node
+                            depth[neighbor] = node_depth
+                            next_frontier.append(neighbor)
+                else:
+                    order = indices[indptr[node] : indptr[node + 1]]
+                    rng.shuffle(order)
+                    for neighbor in order:
+                        if parent[neighbor] < 0:
+                            parent[neighbor] = node
+                            depth[neighbor] = node_depth
+                            next_frontier.append(neighbor)
+            frontier = next_frontier
+        tree = (parent, depth)
+        self._trees[dst_idx] = tree
+        self.trees_computed += 1
+        return tree
+
+    def _pair_indexes(self, src: int, dst: int) -> tuple[int, int] | None:
+        """Both ids' CSR indexes, or None when either id is unknown.
+
+        Unknown ids must surface through the same documented paths as
+        disconnected pairs (RoutingError / has_route False), matching the
+        eager engine's dict-miss behavior — never a bare KeyError.
+        """
+        csr = self.adjacency
+        try:
+            return csr.index(src), csr.index(dst)
+        except KeyError:
+            return None
+
+    def has_route(self, src: int, dst: int) -> bool:
+        """Whether a path from ``src`` to ``dst`` exists.
+
+        Computes (and memoizes) the destination's tree on first use.
+        ``src == dst`` is trivially True (matching the eager engine).
+        """
         if src == dst:
-            return [src]
-        path = [src]
-        node = src
-        while node != dst:
-            node = self.next_hop(node, dst)
-            path.append(node)
-            if len(path) > len(self._hops) + 2:  # pragma: no cover - safety
-                raise RoutingError(f"routing loop from {src} to {dst}")
-        return path
+            return True
+        indexes = self._pair_indexes(src, dst)
+        if indexes is None:
+            return False
+        src_idx, dst_idx = indexes
+        parent, _depth = self._tree(dst_idx)
+        return parent[src_idx] >= 0
+
+    def next_hop(self, src: int, dst: int) -> int:
+        if src == dst:
+            raise RoutingError(f"node {src} routing to itself")
+        indexes = self._pair_indexes(src, dst)
+        if indexes is None:
+            raise RoutingError(f"no route from {src} to {dst}")
+        src_idx, dst_idx = indexes
+        parent, _depth = self._tree(dst_idx)
+        hop = parent[src_idx]
+        if hop < 0:
+            raise RoutingError(f"no route from {src} to {dst}")
+        return self.adjacency.ids[hop]
+
+    next_hop.__doc__ = _QueryMixin.next_hop.__doc__
+
+    def hops(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        indexes = self._pair_indexes(src, dst)
+        if indexes is None:
+            raise RoutingError(f"no route from {src} to {dst}")
+        src_idx, dst_idx = indexes
+        _parent, depth = self._tree(dst_idx)
+        count = depth[src_idx]
+        if count < 0:
+            raise RoutingError(f"no route from {src} to {dst}")
+        return count
+
+    hops.__doc__ = _QueryMixin.hops.__doc__
+
+    def depths_to(self, sink: int) -> dict[int, int]:
+        """Hop distance of every node that can reach ``sink`` (one BFS).
+
+        An unknown ``sink`` yields an empty dict, like the eager engine.
+        """
+        csr = self.adjacency
+        if sink not in csr:
+            return {}
+        _parent, depth = self._tree(csr.index(sink))
+        return {
+            node: depth[i] for i, node in enumerate(csr.ids) if depth[i] >= 0
+        }
+
+
+#: Either routing engine; the query API is identical.
+RoutingLike = typing.Union[RoutingTable, LazyRoutingTable]
+
+#: Engine names accepted by :func:`build_routing`.
+ENGINE_EAGER = "eager"
+ENGINE_LAZY = "lazy"
 
 
 def build_routing(
-    layout: Layout, range_m: float, rng: typing.Any = None
-) -> RoutingTable:
-    """Routing table for radios of ``range_m`` deployed as ``layout``."""
+    layout: Layout,
+    range_m: float,
+    rng: typing.Any = None,
+    engine: str = ENGINE_EAGER,
+) -> RoutingLike:
+    """Routing table for radios of ``range_m`` deployed as ``layout``.
+
+    ``engine="eager"`` (default) keeps the historical all-pairs build;
+    ``engine="lazy"`` returns a :class:`LazyRoutingTable` whose adjacency
+    comes straight from the layout via a spatial hash — no networkx, no
+    O(n²) work — with per-destination tie-breaking.
+    """
+    if engine == ENGINE_LAZY:
+        return LazyRoutingTable.from_layout(layout, range_m, rng=rng)
+    if engine != ENGINE_EAGER:
+        raise ValueError(
+            f"unknown routing engine {engine!r}; expected "
+            f"{ENGINE_EAGER!r} or {ENGINE_LAZY!r}"
+        )
     return RoutingTable(layout.graph(range_m), rng=rng)
 
 
-def tree_depths(table: RoutingTable, sink: int) -> dict[int, int]:
-    """Hop distance of every connected node to ``sink`` (collection tree)."""
-    depths = {}
-    for node in table.graph.nodes:
-        if node == sink:
-            depths[node] = 0
-        elif table.has_route(node, sink):
-            depths[node] = table.hops(node, sink)
-    return depths
+def tree_depths(table: RoutingLike, sink: int) -> dict[int, int]:
+    """Hop distance of every connected node to ``sink`` (collection tree).
+
+    On the lazy engine this is a single memoized BFS rather than n queries.
+    """
+    return table.depths_to(sink)

@@ -18,7 +18,7 @@ paper's static trees learning converges after the first burst along a path.
 from __future__ import annotations
 
 
-from repro.net.routing import RoutingTable
+from repro.net.routing import RoutingLike
 
 
 class ShortcutLearner:
@@ -37,8 +37,8 @@ class ShortcutLearner:
     def __init__(
         self,
         node_id: int,
-        low_table: RoutingTable,
-        high_table: RoutingTable,
+        low_table: RoutingLike,
+        high_table: RoutingLike,
     ):
         self.node_id = node_id
         self.low_table = low_table
@@ -66,7 +66,7 @@ class ShortcutLearner:
         """
         if forwarder == self.node_id:
             return False
-        if not self.high_table.graph.has_edge(self.node_id, forwarder):
+        if not self.high_table.has_edge(self.node_id, forwarder):
             return False
         current = self.next_hop(dst)
         if forwarder == current:
@@ -83,7 +83,7 @@ class ShortcutLearner:
         if via == dst:
             return 0
         if not self.low_table.has_route(via, dst):
-            return len(self.low_table.graph) + 1
+            return len(self.low_table) + 1
         return self.low_table.hops(via, dst)
 
     def has_shortcut(self, dst: int) -> bool:

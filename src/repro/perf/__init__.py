@@ -1,0 +1,19 @@
+"""Performance measurement: phase timers, the bench suite and its gate.
+
+* :mod:`repro.perf.phases` — lightweight named wall-clock accumulators the
+  scenario harness reports into (routing build vs sim loop), consumed by
+  the fig benchmarks' JSON artifact and by ``repro bench``.
+* :mod:`repro.perf.suite` — the declared benchmark cases (``smoke`` ⊂
+  ``full``).
+* :mod:`repro.perf.bench` — runs a suite, writes ``BENCH_<rev>.json``,
+  compares against a baseline and gates on a regression threshold.
+
+Only the phase accumulator is re-exported here: the scenario harness
+imports it, so this package ``__init__`` must stay free of imports that
+reach back into the model layer (``suite``/``bench`` import scenarios —
+import them by module path).
+"""
+
+from repro.perf.phases import collect_phases, phase, phase_snapshot, record
+
+__all__ = ["collect_phases", "phase", "phase_snapshot", "record"]

@@ -1,0 +1,66 @@
+"""Named wall-clock phase accumulators for the scenario harness.
+
+The figure benchmarks and ``repro bench`` want to know *where* a run's
+time went — routing build vs the sim event loop — without polluting
+:class:`~repro.stats.metrics.RunResult` (results are digested for the
+determinism goldens; wall times are inherently nondeterministic and must
+never enter them).  So the scenario harness reports phases out-of-band
+into this module-level accumulator, and collectors opt in around a run:
+
+    with collect_phases() as timings:
+        run_scenario(config)
+    timings  # {"network_build": ..., "routing_build": ..., "sim_loop": ...}
+
+When no collector is active (the default), :func:`phase` degrades to two
+``perf_counter`` calls and no storage.  The accumulator is per-process:
+runs fanned out to worker processes by the sweep runner accumulate in the
+workers and are not transported back — serial (in-process) execution is
+the supported way to collect phases.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+import typing
+
+#: The active accumulator, or None when collection is disabled.
+_active: dict[str, float] | None = None
+
+
+@contextlib.contextmanager
+def collect_phases() -> typing.Iterator[dict[str, float]]:
+    """Enable phase collection; yields the dict timings accumulate into.
+
+    Nested collectors stack: the inner collector sees only its own span,
+    and the outer one resumes (without the inner span's entries) when the
+    inner exits.
+    """
+    global _active
+    previous = _active
+    _active = timings = {}
+    try:
+        yield timings
+    finally:
+        _active = previous
+
+
+def record(name: str, seconds: float) -> None:
+    """Add ``seconds`` to phase ``name`` (no-op when collection is off)."""
+    if _active is not None:
+        _active[name] = _active.get(name, 0.0) + seconds
+
+
+@contextlib.contextmanager
+def phase(name: str) -> typing.Iterator[None]:
+    """Time the enclosed block into phase ``name``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record(name, time.perf_counter() - start)
+
+
+def phase_snapshot() -> dict[str, float]:
+    """A copy of the currently accumulated timings (empty when off)."""
+    return dict(_active) if _active is not None else {}

@@ -1,0 +1,356 @@
+"""The declared benchmark suite ``repro bench`` runs.
+
+Each :class:`BenchCase` is a named, deterministic workload with an untimed
+``setup`` and a timed ``run`` returning ops counters.  Cases are tagged
+into suites: ``smoke`` is the CI gate (everything the acceptance criteria
+pin — routing build at 1k/5k nodes, the sim kernel, medium delivery, one
+end-to-end fig-scale cell, a 1k-node composed scenario build); ``full``
+is a superset adding the heavy contention cell.
+
+Wall times are machine-dependent, so the committed ``BENCH_*.json``
+baselines gate *relative* regressions (see :mod:`repro.perf.bench`);
+:data:`RATIO_GATES` additionally pins machine-independent speedup ratios
+(lazy vs eager routing must stay ≥ 10× at 1k nodes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+#: Suite names, smallest first; every suite includes the ones before it.
+SUITES = ("smoke", "full")
+
+#: 1k-node routing benchmark geometry: ~6.6 mean degree at range 60 m.
+_FIELD_1K = 1265.0
+_FIELD_5K = 2830.0
+_RANGE_M = 60.0
+#: Senders in the collection-tree workload (sink + forward + reverse
+#: trees — the O(senders + 1) pattern BCP's wakeup handshake queries).
+_N_SENDERS = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchCase:
+    """One named benchmark: untimed setup, timed run, ops counters."""
+
+    name: str
+    summary: str
+    setup: typing.Callable[[], typing.Any]
+    run: typing.Callable[[typing.Any], dict[str, float]]
+    suites: tuple[str, ...] = SUITES
+    repeats: int = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class RatioGate:
+    """A machine-independent check: ``slow_case / fast_case >= min_ratio``."""
+
+    name: str
+    slow_case: str
+    fast_case: str
+    min_ratio: float
+
+
+def _uniform_layout(n: int, field_m: float, seed: int):
+    from repro.topology.layout import random_layout
+
+    return random_layout(n, field_m, field_m, random.Random(seed))
+
+
+def _collection_workload(table, n_nodes: int) -> int:
+    """The query mix of a collection-tree run: sink + reverse paths.
+
+    Forward routes sender → sink (data), plus the reverse next hop the
+    WAKEUP-ACK travels (sink-side trees toward each sender).  Returns the
+    number of reachable senders (a determinism cross-check).
+    """
+    sink = 0
+    senders = random.Random(4).sample(range(1, n_nodes), _N_SENDERS)
+    reached = 0
+    for sender in senders:
+        if not table.has_route(sender, sink):
+            continue
+        table.next_hop(sender, sink)
+        table.hops(sender, sink)
+        table.next_hop(sink, sender)
+        reached += 1
+    return reached
+
+
+def _case_routing_eager_1k() -> BenchCase:
+    def setup():
+        return _uniform_layout(1000, _FIELD_1K, 1)
+
+    def run(layout):
+        from repro.net.routing import build_routing
+
+        table = build_routing(layout, _RANGE_M, rng=random.Random(2))
+        reached = _collection_workload(table, 1000)
+        return {"nodes": 1000, "reached_senders": reached, "trees": 1000}
+
+    return BenchCase(
+        name="routing-build-eager-1k",
+        summary="eager all-pairs routing build, 1k-node uniform deployment",
+        setup=setup,
+        run=run,
+        repeats=1,
+    )
+
+
+def _case_routing_lazy(n: int, field_m: float) -> BenchCase:
+    def setup():
+        return _uniform_layout(n, field_m, 1 if n == 1000 else 7)
+
+    def run(layout):
+        from repro.net.routing import build_routing
+
+        table = build_routing(
+            layout, _RANGE_M, rng=random.Random(2), engine="lazy"
+        )
+        reached = _collection_workload(table, n)
+        return {
+            "nodes": n,
+            "reached_senders": reached,
+            "trees": table.trees_computed,
+            "edges": table.adjacency.n_edges,
+        }
+
+    return BenchCase(
+        name=f"routing-build-lazy-{n // 1000}k",
+        summary=(
+            f"lazy CSR routing build + collection workload, {n}-node "
+            "uniform deployment"
+        ),
+        setup=setup,
+        run=run,
+        repeats=5,
+    )
+
+
+def _case_sim_event_loop() -> BenchCase:
+    def setup():
+        return None
+
+    def run(_state):
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator(seed=1)
+
+        def ticker(count):
+            for _ in range(count):
+                yield sim.timeout(1.0)
+
+        for _ in range(10):
+            sim.process(ticker(30_000))
+        sim.run()
+        return {"events": float(sim.events_processed)}
+
+    return BenchCase(
+        name="sim-event-loop",
+        summary="pure kernel throughput: 300k chained timeouts",
+        setup=setup,
+        run=run,
+    )
+
+
+def _case_medium_delivery() -> BenchCase:
+    def setup():
+        return _uniform_layout(100, 250.0, 3)
+
+    def run(layout):
+        from repro.channel.medium import Medium
+        from repro.energy.meter import EnergyMeter
+        from repro.energy.radio_specs import MICAZ
+        from repro.mac.frames import Frame, FrameKind
+        from repro.radio.radio import LowPowerRadio
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator(seed=1)
+        medium = Medium(sim, layout, name="bench")
+        radios = {
+            node: LowPowerRadio(
+                sim, node, MICAZ, medium, EnergyMeter(f"n{node}")
+            )
+            for node in layout.node_ids
+        }
+
+        def sender(node):
+            neighbors = medium.neighbors(node)
+            if not neighbors:
+                return
+            dst = neighbors[0]
+            for seq in range(150):
+                frame = Frame(
+                    kind=FrameKind.DATA,
+                    src=node,
+                    dst=dst,
+                    payload_bits=256,
+                    header_bits=88,
+                    seq=seq,
+                    require_ack=False,
+                )
+                yield radios[node].transmit(frame)
+
+        for node in list(layout.node_ids)[:25]:
+            sim.process(sender(node))
+        sim.run()
+        return {
+            "frames_sent": float(medium.frames_sent),
+            "frames_delivered": float(medium.frames_delivered),
+            "events": float(sim.events_processed),
+        }
+
+    return BenchCase(
+        name="medium-delivery",
+        summary="per-frame medium work: 25 senders x 150 unicast frames",
+        setup=setup,
+        run=run,
+        repeats=5,
+    )
+
+
+def _fig_cell_config(**overrides):
+    from repro.models.scenario import single_hop_config
+
+    # The fig5 bench-scale cell: 2 kb/s senders so bursts actually fill
+    # and ship within the simulated window.
+    defaults = dict(
+        n_senders=10, burst_packets=100, rate_bps=2000.0, sim_time_s=120.0
+    )
+    defaults.update(overrides)
+    return single_hop_config(**defaults)
+
+
+def _run_cell(config) -> dict[str, float]:
+    from repro.models.scenario import run_scenario
+    from repro.perf.phases import collect_phases
+
+    with collect_phases() as timings:
+        result = run_scenario(config)
+    ops: dict[str, float] = {
+        "delivered_bits": result.delivered_bits,
+        "frames_sent": result.counters.get("medium.low.sent", 0.0)
+        + result.counters.get("medium.high.sent", 0.0),
+    }
+    for name, seconds in timings.items():
+        ops[f"phase.{name}_s"] = seconds
+    return ops
+
+
+def _case_fig_cell() -> BenchCase:
+    return BenchCase(
+        name="fig-cell",
+        summary="end-to-end fig-scale cell: SH dual, 10 senders, 120 s",
+        setup=lambda: _fig_cell_config(),
+        run=_run_cell,
+        repeats=4,
+    )
+
+
+def _case_fig_cell_heavy() -> BenchCase:
+    def setup():
+        from repro.models.scenario import ScenarioConfig
+
+        return ScenarioConfig(
+            model="sensor", n_senders=35, rate_bps=2000.0, sim_time_s=60.0
+        )
+
+    return BenchCase(
+        name="fig-cell-heavy",
+        summary="contention-collapse cell: sensor model, 35 senders, 60 s",
+        setup=setup,
+        run=_run_cell,
+        suites=("full",),
+        repeats=1,
+    )
+
+
+def _case_scenario_compose_1k() -> BenchCase:
+    def setup():
+        from repro.models.scenario import ScenarioConfig
+        from repro.topology.registry import TopologySpec
+
+        # Dense enough (mean sensor-tier degree ~10) that the pinned seed
+        # yields sink-connected tiers without a connectivity resample.
+        return ScenarioConfig(
+            model=MODEL_DUAL_NAME,
+            topology=TopologySpec.of(
+                "uniform-random", n=1000, width_m=700.0, height_m=700.0
+            ),
+            sink=0,
+            n_senders=10,
+            sim_time_s=10.0,
+            seed=1,
+        )
+
+    def run(config):
+        from repro.models.scenario import build_network
+        from repro.perf.phases import collect_phases, phase
+        from repro.sim.simulator import Simulator
+
+        with collect_phases() as timings, phase("network_build"):
+            sim = Simulator(seed=config.seed)
+            build_network(config, sim)
+        ops: dict[str, float] = {"nodes": float(config.n_nodes)}
+        for name, seconds in timings.items():
+            ops[f"phase.{name}_s"] = seconds
+        return ops
+
+    return BenchCase(
+        name="scenario-compose-1k",
+        summary=(
+            "full network build (layout + media + lazy routes) for a "
+            "1k-node composed dual-radio scenario"
+        ),
+        setup=setup,
+        run=run,
+        repeats=3,
+    )
+
+
+#: ``"dual"`` without importing the model layer at module import time.
+MODEL_DUAL_NAME = "dual"
+
+#: Machine-independent gates checked after every suite run: the lazy
+#: engine must beat the eager all-pairs baseline by at least this factor
+#: on the acceptance workload.
+RATIO_GATES = (
+    RatioGate(
+        name="routing-1k-speedup",
+        slow_case="routing-build-eager-1k",
+        fast_case="routing-build-lazy-1k",
+        min_ratio=10.0,
+    ),
+)
+
+
+def all_cases() -> tuple[BenchCase, ...]:
+    """Every declared case, in run order."""
+    return (
+        _case_routing_eager_1k(),
+        _case_routing_lazy(1000, _FIELD_1K),
+        _case_routing_lazy(5000, _FIELD_5K),
+        _case_sim_event_loop(),
+        _case_medium_delivery(),
+        _case_fig_cell(),
+        _case_fig_cell_heavy(),
+        _case_scenario_compose_1k(),
+    )
+
+
+def bench_cases(suite: str = "smoke") -> list[BenchCase]:
+    """The cases belonging to ``suite`` (ValueError for unknown names)."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; expected one of {SUITES}")
+    return [case for case in all_cases() if suite in case.suites]
+
+
+def ratio_gates(case_names: typing.Collection[str]) -> list[RatioGate]:
+    """The gates whose two cases are both present in ``case_names``."""
+    return [
+        gate
+        for gate in RATIO_GATES
+        if gate.slow_case in case_names and gate.fast_case in case_names
+    ]

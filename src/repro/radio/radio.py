@@ -170,12 +170,15 @@ class RadioPort:
         duration = self.airtime(frame)
         self._begin_tx_accounting(duration)
         end_event = self.medium.transmit(self, frame)
-        end_event.callbacks.append(lambda _event: self._end_transmit(duration))
+        # The end event is the medium's Timeout for exactly ``duration``
+        # (``Timeout.delay``), so the bound method needs no closure — one
+        # less allocation per frame.
+        end_event.callbacks.append(self._end_transmit)
         return end_event
 
-    def _end_transmit(self, duration: float) -> None:
+    def _end_transmit(self, end_event: "Event") -> None:
         self._transmitting = False
-        self._end_tx_accounting(duration)
+        self._end_tx_accounting(end_event.delay)
 
     # -- hooks for subclasses ----------------------------------------------
 

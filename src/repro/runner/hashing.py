@@ -29,7 +29,9 @@ import typing
 #: v3: ScenarioConfig grew the scenario-composition axes (topology /
 #: propagation / high_radios / traffic_mix specs); every pre-axis key is
 #: retired wholesale rather than left as unreachable dead weight.
-CACHE_SCHEMA_VERSION = 3
+#: v4: ScenarioConfig grew the ``routing`` engine selector (auto / eager
+#: / lazy); pre-selector keys are retired wholesale.
+CACHE_SCHEMA_VERSION = 4
 
 
 def _canonicalize(value: typing.Any) -> typing.Any:

@@ -142,10 +142,17 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: object = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Field init is inlined (rather than chaining through
+        # Event.__init__) deliberately: timeouts are the kernel's hottest
+        # allocation — one per MAC wait, backoff and frame — and the
+        # super() call was measurable.  Keep in sync with Event.__init__.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self.delay = delay
         sim._enqueue(self, delay=delay, priority=NORMAL)
 
     def succeed(self, value: object = None) -> "Event":
@@ -169,18 +176,23 @@ class Condition(Event):
         super().__init__(sim)
         self.events = list(events)
         self._count = 0
-        for event in self.events:
-            if event.sim is not sim:
-                raise SimulationError("cannot mix events from different simulators")
         if not self.events:
             # An empty condition is trivially satisfied.
             self.succeed(dict())
             return
+        # Validate every child BEFORE wiring any: a cross-simulator error
+        # must leave zero side effects (no callbacks installed, nothing
+        # triggered) or the failed constructor leaks a ghost condition
+        # onto the agenda when an already-wired child later fires.
         for event in self.events:
-            if event.processed:
-                self._child_done(event)
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        child_done = self._child_done
+        for event in self.events:
+            if event._processed:
+                child_done(event)
             else:
-                event.callbacks.append(self._child_done)
+                event.callbacks.append(child_done)
 
     def _evaluate(self, processed_count: int, total: int) -> bool:
         raise NotImplementedError

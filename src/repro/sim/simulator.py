@@ -49,6 +49,9 @@ class Simulator:
         self._queue: list[_QueueItem] = []
         self._sequence = 0
         self._active_process: Process | None = None
+        #: Events processed so far — an ops counter ``repro bench`` and the
+        #: fig benchmarks record alongside wall times.
+        self.events_processed = 0
         #: Named deterministic random streams (see :class:`RngRegistry`).
         self.rng = RngRegistry(seed)
 
@@ -128,6 +131,7 @@ class Simulator:
             raise SimulationError("step() on an empty agenda")
         when, _priority, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         for callback in callbacks:
@@ -170,6 +174,13 @@ class Simulator:
                 raise typing.cast(BaseException, until.value)
             return until.value
 
+        # The two loops below inline step(): at full fidelity a run pops
+        # hundreds of thousands of events, and the method call plus the
+        # re-resolved attribute lookups were measurable kernel overhead.
+        # Any semantic change here must be mirrored in step().
+        queue = self._queue
+        pop = heapq.heappop
+
         if until is not None:
             horizon = float(until)
             if horizon < self._now:
@@ -177,16 +188,32 @@ class Simulator:
                     f"cannot run until {horizon} (now is {self._now})"
                 )
             try:
-                while self._queue and self._queue[0][0] <= horizon:
-                    self.step()
+                while queue and queue[0][0] <= horizon:
+                    when, _priority, _seq, event = pop(queue)
+                    self._now = when
+                    self.events_processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise typing.cast(BaseException, event._value)
             except StopSimulation:
                 return None
             self._now = max(self._now, horizon)
             return None
 
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _priority, _seq, event = pop(queue)
+                self._now = when
+                self.events_processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                event._processed = True
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise typing.cast(BaseException, event._value)
         except StopSimulation:
             pass
         return None

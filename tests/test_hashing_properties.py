@@ -114,6 +114,7 @@ class TestScenarioFieldSensitivity:
         "propagation": PropagationSpec.of("log-normal", sigma_db=4.0),
         "high_radios": RadioAssignment(overrides=((0, "Cabletron"),)),
         "traffic_mix": ((1, "poisson"),),
+        "routing": "lazy",
     }
 
     @staticmethod

@@ -1,0 +1,260 @@
+"""Unit tests for the CSR adjacency and the lazy routing engine."""
+
+import random
+
+import pytest
+
+from repro.models.scenario import ScenarioConfig
+from repro.net.csr import CsrGraph
+from repro.net.routing import (
+    LazyRoutingTable,
+    RoutingError,
+    RoutingTable,
+    build_routing,
+    tree_depths,
+)
+from repro.topology.layout import (
+    Layout,
+    grid_layout,
+    line_layout,
+    random_layout,
+)
+from repro.topology.geometry import Position
+
+
+def _edge_set_nx(graph):
+    return {tuple(sorted(edge)) for edge in graph.edges}
+
+
+def _edge_set_csr(csr):
+    return {
+        tuple(sorted((csr.ids[i], csr.ids[j])))
+        for i in range(len(csr.ids))
+        for j in csr.indices[csr.indptr[i] : csr.indptr[i + 1]]
+    }
+
+
+class TestCsrGraph:
+    def test_from_layout_matches_networkx_grid(self):
+        layout = grid_layout(5, 5, 40.0)
+        csr = CsrGraph.from_layout(layout, 40.0)
+        assert _edge_set_csr(csr) == _edge_set_nx(layout.graph(40.0))
+
+    def test_from_layout_matches_networkx_random(self):
+        layout = random_layout(60, 200.0, 200.0, random.Random(11))
+        csr = CsrGraph.from_layout(layout, 55.0)
+        assert _edge_set_csr(csr) == _edge_set_nx(layout.graph(55.0))
+
+    def test_from_networkx_round_trip(self):
+        graph = grid_layout(3, 4, 40.0).graph(40.0)
+        csr = CsrGraph.from_networkx(graph)
+        assert _edge_set_csr(csr) == _edge_set_nx(graph)
+
+    def test_from_links(self):
+        csr = CsrGraph.from_links([3, 1, 2], [(1, 3), (3, 2)])
+        assert csr.ids == (1, 2, 3)
+        assert csr.neighbor_ids(3) == [1, 2]
+        assert csr.neighbor_ids(1) == [3]
+        assert csr.n_edges == 2
+
+    def test_has_edge(self):
+        csr = CsrGraph.from_links([0, 1, 2], [(0, 1)])
+        assert csr.has_edge(0, 1) and csr.has_edge(1, 0)
+        assert not csr.has_edge(0, 2)
+        assert not csr.has_edge(0, 99)  # unknown node: False, not KeyError
+
+    def test_rows_sorted_ascending(self):
+        layout = random_layout(30, 120.0, 120.0, random.Random(5))
+        csr = CsrGraph.from_layout(layout, 50.0)
+        for node in csr.ids:
+            row = csr.neighbor_ids(node)
+            assert row == sorted(row)
+
+    def test_membership_and_len(self):
+        csr = CsrGraph.from_links([4, 7], [(4, 7)])
+        assert 4 in csr and 7 in csr and 5 not in csr
+        assert len(csr) == 2
+
+    def test_epsilon_over_range_edge_survives_cell_boundaries(self):
+        # in_range() accepts distances up to range + RANGE_EPSILON_M; an
+        # edge a hair past the nominal range can straddle two cell
+        # boundaries of a range-sized hash, so the cells must be sized to
+        # the inclusive reach.  layout.graph is the ground truth.
+        layout = Layout(
+            {0: Position(39.9999999, 0.0), 1: Position(80.0000004, 0.0)}
+        )
+        assert _edge_set_nx(layout.graph(40.0)) == {(0, 1)}
+        csr = CsrGraph.from_layout(layout, 40.0)
+        assert csr.has_edge(0, 1)
+
+
+def _two_islands() -> Layout:
+    """Two 2-node clusters far beyond radio range of each other."""
+    return Layout(
+        {
+            0: Position(0.0, 0.0),
+            1: Position(10.0, 0.0),
+            2: Position(500.0, 0.0),
+            3: Position(510.0, 0.0),
+        }
+    )
+
+
+@pytest.mark.parametrize("engine", ["eager", "lazy"])
+class TestRoutingErrorPaths:
+    """Disconnected pairs raise a documented RoutingError on both engines."""
+
+    def test_next_hop_disconnected_raises(self, engine):
+        table = build_routing(_two_islands(), 40.0, engine=engine)
+        with pytest.raises(RoutingError, match="no route from 0 to 2"):
+            table.next_hop(0, 2)
+
+    def test_hops_disconnected_raises(self, engine):
+        table = build_routing(_two_islands(), 40.0, engine=engine)
+        with pytest.raises(RoutingError, match="no route"):
+            table.hops(3, 1)
+
+    def test_path_disconnected_raises(self, engine):
+        table = build_routing(_two_islands(), 40.0, engine=engine)
+        with pytest.raises(RoutingError):
+            table.path(1, 3)
+
+    def test_has_route_is_the_probe(self, engine):
+        table = build_routing(_two_islands(), 40.0, engine=engine)
+        assert table.has_route(0, 1)
+        assert not table.has_route(0, 2)
+        assert table.has_route(2, 2)
+
+    def test_self_routing_raises_but_zero_hops(self, engine):
+        table = build_routing(_two_islands(), 40.0, engine=engine)
+        with pytest.raises(RoutingError, match="routing to itself"):
+            table.next_hop(2, 2)
+        assert table.hops(2, 2) == 0
+        assert table.path(2, 2) == [2]
+
+    def test_unknown_node_ids_raise_routing_error(self, engine):
+        # Ids outside the graph go through the same documented paths as
+        # disconnected pairs — RoutingError / has_route False, never a
+        # bare KeyError.
+        table = build_routing(_two_islands(), 40.0, engine=engine)
+        with pytest.raises(RoutingError, match="no route"):
+            table.next_hop(0, 99)
+        with pytest.raises(RoutingError, match="no route"):
+            table.hops(99, 0)
+        assert not table.has_route(0, 99)
+        assert not table.has_route(99, 0)
+        assert table.has_route(99, 99)  # trivially self-routable
+        assert table.depths_to(99) == {}
+
+
+class TestLazyRoutingTable:
+    def test_sorted_mode_matches_eager_exactly(self):
+        layout = grid_layout(5, 5, 40.0)
+        eager = RoutingTable(layout.graph(40.0))
+        lazy = build_routing(layout, 40.0, engine="lazy")
+        for src in layout.node_ids:
+            for dst in layout.node_ids:
+                if src == dst:
+                    continue
+                assert lazy.next_hop(src, dst) == eager.next_hop(src, dst)
+                assert lazy.hops(src, dst) == eager.hops(src, dst)
+
+    def test_trees_memoized(self):
+        layout = grid_layout(4, 4, 40.0)
+        lazy = build_routing(layout, 40.0, engine="lazy")
+        assert lazy.trees_computed == 0
+        lazy.next_hop(3, 0)
+        assert lazy.trees_computed == 1
+        lazy.hops(7, 0)
+        lazy.next_hop(12, 0)
+        assert lazy.trees_computed == 1  # same destination, no new BFS
+        lazy.next_hop(0, 5)
+        assert lazy.trees_computed == 2
+
+    def test_rng_mode_is_query_order_independent(self):
+        layout = random_layout(40, 160.0, 160.0, random.Random(3))
+        pairs = [
+            (a, b)
+            for a in layout.node_ids
+            for b in layout.node_ids
+            if a != b
+        ]
+        forward = LazyRoutingTable.from_layout(
+            layout, 60.0, rng=random.Random(9)
+        )
+        backward = LazyRoutingTable.from_layout(
+            layout, 60.0, rng=random.Random(9)
+        )
+        answers_fwd = {}
+        for a, b in pairs:
+            if forward.has_route(a, b):
+                answers_fwd[(a, b)] = forward.next_hop(a, b)
+        for a, b in reversed(pairs):
+            if backward.has_route(a, b):
+                assert backward.next_hop(a, b) == answers_fwd[(a, b)]
+
+    def test_path_walks_to_destination(self):
+        layout = line_layout(6, 40.0)
+        lazy = build_routing(layout, 40.0, engine="lazy")
+        assert lazy.path(0, 5) == [0, 1, 2, 3, 4, 5]
+        assert lazy.path(5, 0) == [5, 4, 3, 2, 1, 0]
+
+    def test_tree_depths_matches_eager(self):
+        layout = grid_layout(4, 5, 40.0)
+        eager = build_routing(layout, 40.0)
+        lazy = build_routing(layout, 40.0, engine="lazy")
+        assert tree_depths(lazy, 0) == tree_depths(eager, 0)
+
+    def test_has_edge_and_len(self):
+        layout = line_layout(4, 40.0)
+        lazy = build_routing(layout, 40.0, engine="lazy")
+        assert lazy.has_edge(1, 2) and not lazy.has_edge(0, 2)
+        assert len(lazy) == 4
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing engine"):
+            build_routing(line_layout(3), 40.0, engine="speculative")
+
+    def test_unknown_tie_break_rejected(self):
+        graph = line_layout(3).graph(40.0)
+        with pytest.raises(ValueError, match="unknown tie_break"):
+            RoutingTable(graph, tie_break="coin-flip")
+
+
+class TestScenarioEngineSelection:
+    def test_paper_grid_resolves_eager(self):
+        assert ScenarioConfig().routing_engine() == "eager"
+
+    def test_forced_engines(self):
+        assert ScenarioConfig(routing="lazy").routing_engine() == "lazy"
+        assert ScenarioConfig(routing="eager").routing_engine() == "eager"
+
+    def test_auto_switches_above_threshold(self):
+        from repro.topology.registry import TopologySpec
+
+        config = ScenarioConfig(
+            topology=TopologySpec.of(
+                "uniform-random", n=300, width_m=400.0, height_m=400.0
+            ),
+            sink=0,
+            n_senders=5,
+        )
+        assert config.routing_engine() == "lazy"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing engine"):
+            ScenarioConfig(routing="bogus")
+
+    def test_lazy_scenario_runs_end_to_end(self):
+        from repro.models.scenario import run_scenario
+
+        result = run_scenario(
+            ScenarioConfig(
+                routing="lazy",
+                n_senders=5,
+                rate_bps=2000.0,
+                burst_packets=10,
+                sim_time_s=30.0,
+            )
+        )
+        assert result.delivered_bits > 0
