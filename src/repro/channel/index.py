@@ -57,7 +57,16 @@ class NeighborIndex:
             (propagation.max_audible_m(port) for port in ports.values()),
             default=0.0,
         )
-        cell = max(max_reach, 1e-9)
+        # Cells are sized to the *inclusive* reach (max audible distance
+        # plus the boundary epsilon), mirroring CsrGraph.from_layout: a
+        # candidate the predicate can accept then never lies more than
+        # ``ceil(reach / cell) == 1`` cell away, so the uniform-range
+        # window below is 3x3.  Sizing cells to the bare nominal range
+        # used to make ``span = ceil((reach + ε) / reach) = 2`` — a 5x5
+        # window scanning ~2.8x the candidates for no extra hits — and
+        # degenerated to a near-unbounded span for reaches far below the
+        # epsilon (e.g. zero-range ports).
+        cell = max(max_reach + RANGE_EPSILON_M, 1e-9)
         buckets: dict[tuple[int, int], list[int]] = {}
         for node in ports:
             pos = layout.position(node)

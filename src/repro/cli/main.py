@@ -476,7 +476,9 @@ def _bench_parser() -> argparse.ArgumentParser:
             "Run the declared perf suite, write BENCH_<rev>.json, and "
             "gate on regressions vs a baseline report plus the "
             "machine-independent speedup ratios (lazy routing must stay "
-            ">=10x the eager baseline at 1k nodes)."
+            ">=10x the eager baseline at 1k nodes) and absolute "
+            "acceptance budgets (a 10k-node composed scenario must "
+            "build in under 5 s; full suite)."
         ),
     )
     parser.add_argument(
@@ -547,7 +549,7 @@ def _bench_parser() -> argparse.ArgumentParser:
 
 def _bench_main(argv: typing.Sequence[str]) -> int:
     from repro.perf import bench as perf_bench
-    from repro.perf.suite import bench_cases
+    from repro.perf.suite import bench_cases, wall_budgets
 
     args = _bench_parser().parse_args(list(argv))
     if args.list:
@@ -567,8 +569,14 @@ def _bench_main(argv: typing.Sequence[str]) -> int:
             f"{key}={value:g}" for key, value in sorted(result.ops.items())
         )
         print(f"{name:26s} {result.wall_s:9.4f}s  {ops}")
-    for name, ratio in report.checks.items():
-        print(f"{name:26s} {ratio:9.1f}x")
+    budget_names = {budget.name for budget in wall_budgets(report.results)}
+    for name, value in report.checks.items():
+        # Ratio gates read as speedups ("43.1x"); wall budgets read as
+        # the measured seconds against their absolute budget.
+        if name in budget_names:
+            print(f"{name:26s} {value:9.2f}s")
+        else:
+            print(f"{name:26s} {value:9.1f}x")
 
     failures = perf_bench.failed_gates(report)
     if args.baseline != "none":

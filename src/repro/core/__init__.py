@@ -7,7 +7,7 @@
 * :mod:`~repro.core.messages` — WAKEUP / WAKEUP-ACK and their envelope.
 """
 
-from repro.core.bcp import BcpAgent, BcpStats
+from repro.core.bcp import BcpAgent, BcpNodeSpec, BcpStats
 from repro.core.buffer import BulkBuffer
 from repro.core.config import RULE_OF_THUMB_THRESHOLD_BYTES, BcpConfig
 from repro.core.fragmentation import BurstFragment, assemble_burst, reassemble
@@ -23,6 +23,7 @@ from repro.core.messages import (
 __all__ = [
     "BcpAgent",
     "BcpConfig",
+    "BcpNodeSpec",
     "BcpStats",
     "BulkBuffer",
     "BurstFragment",

@@ -30,6 +30,35 @@ The optional DSR-style shortcut learning (Section 3) keeps the sender's
 radio on briefly after a burst, listening promiscuously for its own packets
 being forwarded; the farthest overheard forwarder becomes the next hop for
 subsequent bursts.
+
+Shared-spec contract (the flyweight pattern)
+--------------------------------------------
+At deployment scale, everything about a BCP node except its identity and
+its live protocol state is *class* data, not *instance* data: every node
+of the same (radio pairing, traffic class, MAC config) combination shares
+one :class:`BcpConfig`, the same two routing tables, the same delivery
+callback and the same address map.  :class:`BcpNodeSpec` bundles those
+shared references into one immutable flyweight; fleet construction builds
+a handful of specs (the paper scenarios need two: sink and non-sink) and
+stamps out agents with :meth:`BcpAgent.from_spec`, so a 10k-node build
+allocates 10k *mutable-state* shells rather than 10k copies of the full
+configuration graph.
+
+The contract has two sides:
+
+* **Builders** must treat everything placed in a spec as immutable for
+  the lifetime of the fleet: the spec is hashed into nothing and copied
+  nowhere — mutating its ``config`` (or rebinding a routing table) after
+  construction would change behaviour for every agent sharing it at
+  once.
+* **Agents** never write through the spec: all mutable per-node state
+  lives on the agent itself (the buffer, stats counters, session tables)
+  or in struct-of-arrays containers owned by the scenario (energy
+  columns in a :class:`~repro.energy.meter.MeterBank`).
+
+The historical one-node-at-a-time constructor signature remains for
+tests and hand-built stacks; it simply wraps its arguments in a private
+spec.
 """
 
 from __future__ import annotations
@@ -58,7 +87,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import Simulator
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _SenderSession:
     """Sender-side handshake/transfer state for one next hop."""
 
@@ -69,7 +98,7 @@ class _SenderSession:
     active: bool = True
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _ReceiverSession:
     """Receiver-side state for one bulk sender."""
 
@@ -83,8 +112,61 @@ class _ReceiverSession:
     active: bool = True
 
 
+@dataclasses.dataclass(frozen=True, eq=False)
+class BcpNodeSpec:
+    """The shared immutable flyweight behind a fleet of :class:`BcpAgent`.
+
+    One spec exists per node *class* — per (radio pairing, traffic class,
+    MAC config) combination in a composed scenario — and is handed to
+    :meth:`BcpAgent.from_spec` for every node of that class.  See the
+    module docstring ("Shared-spec contract") for the immutability rules
+    both sides must uphold.
+
+    Attributes
+    ----------
+    sim:
+        The simulation kernel (one per run, shared by construction).
+    config:
+        Protocol parameters; treated as frozen once placed here even
+        though :class:`BcpConfig` is technically a mutable dataclass.
+    low_routing / high_routing:
+        The two networks' routing tables (already shared historically —
+        routing state is per-deployment, not per-node).
+    deliver:
+        Sink-delivery callback for packets that reach their destination.
+    address_map:
+        Optional dual-radio address table (``None`` disables the lookup).
+    """
+
+    sim: "Simulator"
+    config: BcpConfig
+    low_routing: RoutingLike
+    high_routing: RoutingLike
+    deliver: typing.Callable[[DataPacket], None]
+    address_map: typing.Any = None
+
+
 class BcpStats:
     """Protocol counters exposed for evaluation and tests."""
+
+    __slots__ = (
+        "packets_submitted",
+        "packets_buffered",
+        "packets_dropped_buffer",
+        "packets_sent",
+        "packets_lost_mac",
+        "packets_received",
+        "packets_delivered",
+        "packets_sent_low",
+        "wakeups_sent",
+        "wakeup_retries",
+        "acks_sent",
+        "handshakes_started",
+        "handshakes_failed",
+        "bursts_completed",
+        "receiver_timeouts",
+        "control_forwarded",
+    )
 
     def __init__(self) -> None:
         self.packets_submitted = 0
@@ -130,6 +212,12 @@ class BcpAgent:
         Optional dual-radio address table; when provided, the agent
         resolves the peer's high-power address before each handshake,
         mirroring a real implementation's lookup (Section 3).
+    spec:
+        Optional pre-built :class:`BcpNodeSpec`; when given it *is* the
+        shared flyweight and the individual shared arguments are ignored
+        in its favour (fleet builders pass it via :meth:`from_spec` so
+        ten thousand agents share one spec object instead of carrying
+        ten thousand argument tuples through construction).
     """
 
     def __init__(
@@ -144,18 +232,34 @@ class BcpAgent:
         high_routing: RoutingLike,
         deliver: typing.Callable[[DataPacket], None],
         address_map: typing.Any = None,
+        spec: BcpNodeSpec | None = None,
     ):
-        self.sim = sim
+        if spec is None:
+            spec = BcpNodeSpec(
+                sim=sim,
+                config=config,
+                low_routing=low_routing,
+                high_routing=high_routing,
+                deliver=deliver,
+                address_map=address_map,
+            )
+        #: The shared immutable flyweight (see the module docstring).
+        self.spec = spec
+        # Shared fields are re-exposed as direct attributes: the protocol
+        # hot paths (submit, control forwarding) touch them per packet,
+        # and one extra indirection per access costs more over a run than
+        # the references cost at construction.
+        self.sim = spec.sim
         self.node_id = node_id
-        self.config = config
+        self.config = spec.config
         self.low_mac = low_mac
         self.high_mac = high_mac
         self.high_radio = high_radio
-        self.low_routing = low_routing
-        self.high_routing = high_routing
-        self.deliver = deliver
-        self.address_map = address_map
-        self.buffer = BulkBuffer(config.buffer_capacity_bytes)
+        self.low_routing = spec.low_routing
+        self.high_routing = spec.high_routing
+        self.deliver = spec.deliver
+        self.address_map = spec.address_map
+        self.buffer = BulkBuffer(spec.config.buffer_capacity_bytes)
         self.stats = BcpStats()
         self._sender_sessions: dict[int, _SenderSession] = {}
         self._receiver_sessions: dict[int, _ReceiverSession] = {}
@@ -172,6 +276,36 @@ class BcpAgent:
                 high_radio.set_overhear_handler(self._on_overheard)
         low_mac.set_data_handler(self._on_low_frame)
         high_mac.set_data_handler(self._on_high_frame)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: BcpNodeSpec,
+        node_id: int,
+        low_mac: ContentionMac,
+        high_mac: ContentionMac,
+        high_radio: HighPowerRadio,
+    ) -> "BcpAgent":
+        """Stamp out one agent of the node class ``spec`` describes.
+
+        The flyweight constructor: everything shared comes from ``spec``,
+        everything per-node (identity, the node's own MACs and radio)
+        comes as arguments.  Fleet builders call this in a loop after
+        building one spec per node class.
+        """
+        return cls(
+            spec.sim,
+            node_id,
+            spec.config,
+            low_mac,
+            high_mac,
+            high_radio,
+            spec.low_routing,
+            spec.high_routing,
+            spec.deliver,
+            spec.address_map,
+            spec=spec,
+        )
 
     # ------------------------------------------------------------------
     # Sender side: routing interface.

@@ -26,6 +26,8 @@ from repro.energy.meter import (
     CATEGORY_TX,
     CATEGORY_WAKEUP,
     EnergyMeter,
+    MeterBank,
+    NodeMeter,
     PowerIntegrator,
 )
 from repro.energy.radio_specs import (
@@ -63,6 +65,8 @@ __all__ = [
     "MICA",
     "MICA2",
     "MICAZ",
+    "MeterBank",
+    "NodeMeter",
     "PowerIntegrator",
     "RadioSpec",
     "TABLE_1",

@@ -6,6 +6,19 @@ into named categories (``"tx"``, ``"rx"``, ``"idle"``, ``"wakeup"``,
 they charge — e.g. the paper's "Sensor-ideal" baseline ignores idle and
 overhearing — so keeping categories separate lets one simulation produce
 both ideal and full accountings.
+
+Two storage layouts implement the same charging interface:
+
+* :class:`EnergyMeter` — one standalone dict-backed meter.  Right for unit
+  tests and hand-built stacks of a few nodes.
+* :class:`MeterBank` — struct-of-arrays accounting for a whole fleet:
+  one ``(component, category) → per-node float column`` table instead of
+  n per-node dicts.  :meth:`MeterBank.meter` hands out
+  :class:`NodeMeter` views that radios charge exactly like an
+  :class:`EnergyMeter`, while fleet-wide reductions
+  (:meth:`MeterBank.fleet_total`) read whole columns without touching n
+  objects.  This is what lets a 10k-node scenario allocate two float
+  columns per charge category rather than ten thousand dictionaries.
 """
 
 from __future__ import annotations
@@ -81,6 +94,195 @@ class EnergyMeter:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<EnergyMeter {self.name!r} total={self.total():.6f} J>"
+
+
+class MeterBank:
+    """Struct-of-arrays energy accounting for a fleet of ``n_nodes`` nodes.
+
+    Storage is one float column per ``(component, category)`` pair plus
+    one int column recording when each node first charged that pair —
+    columns materialize lazily on first charge — so the per-node cost is
+    a couple of array cells per category actually used, not a dict per
+    node.
+
+    The first-charge sequence column exists for *bit-reproducibility*:
+    a per-node :class:`EnergyMeter` sums a node's categories in that
+    node's dict-insertion order, and float addition is not associative,
+    so reads through :class:`NodeMeter` replay exactly that order.  The
+    pinned golden digests depend on it.
+
+    Parameters
+    ----------
+    n_nodes:
+        Fleet size; nodes are indexed ``0..n_nodes - 1``.
+    name_prefix:
+        Per-node view names are ``f"{name_prefix}{index}"`` (matching the
+        historical ``EnergyMeter(f"node{i}")`` naming in reports).
+    """
+
+    def __init__(self, n_nodes: int, name_prefix: str = "node"):
+        if n_nodes < 1:
+            raise ValueError("a meter bank needs at least one node")
+        self.n_nodes = n_nodes
+        self.name_prefix = name_prefix
+        self._energy: dict[tuple[str, str], list[float]] = {}
+        #: Per-key int column: global sequence number of the node's first
+        #: charge of that key (-1 = never charged).  Sorting a node's
+        #: keys by it reproduces the node's dict-insertion order.
+        self._first_seq: dict[tuple[str, str], list[int]] = {}
+        self._next_seq = 0
+
+    def charge(
+        self, index: int, joules: float, component: str, category: str
+    ) -> None:
+        """Add ``joules`` for node ``index`` under ``(component, category)``.
+
+        Raises
+        ------
+        ValueError
+            If ``joules`` is negative — energy only flows out of batteries.
+        """
+        if joules < 0:
+            raise ValueError(
+                f"negative energy charge {joules!r} for {component}/{category}"
+            )
+        key = (component, category)
+        column = self._energy.get(key)
+        if column is None:
+            column = self._energy[key] = [0.0] * self.n_nodes
+            seq = self._first_seq[key] = [-1] * self.n_nodes
+        else:
+            seq = self._first_seq[key]
+        if seq[index] < 0:
+            seq[index] = self._next_seq
+            self._next_seq += 1
+        column[index] += joules
+
+    def meter(self, index: int) -> "NodeMeter":
+        """An :class:`EnergyMeter`-compatible view of node ``index``."""
+        if not 0 <= index < self.n_nodes:
+            raise IndexError(
+                f"node index {index} outside fleet of {self.n_nodes}"
+            )
+        return NodeMeter(self, index)
+
+    def node_items(
+        self, index: int
+    ) -> list[tuple[tuple[str, str], float]]:
+        """One node's ``((component, category), joules)`` pairs.
+
+        Ordered by the node's first-charge sequence — exactly the
+        iteration order of the equivalent per-node :class:`EnergyMeter`'s
+        dict, including keys whose accumulated charge is 0.0.
+        """
+        items = [
+            (seq[index], key)
+            for key, seq in self._first_seq.items()
+            if seq[index] >= 0
+        ]
+        items.sort()
+        return [(key, self._energy[key][index]) for _seq, key in items]
+
+    def total_for(
+        self,
+        index: int,
+        component: str | None = None,
+        categories: typing.Collection[str] | None = None,
+    ) -> float:
+        """One node's total joules, with :meth:`EnergyMeter.total` filters.
+
+        Terms accumulate in the node's first-charge order, so the float
+        result is bit-identical to the per-node meter it replaces.
+        """
+        total = 0.0
+        for (comp, cat), joules in self.node_items(index):
+            if component is not None and comp != component:
+                continue
+            if categories is not None and cat not in categories:
+                continue
+            total += joules
+        return total
+
+    def fleet_total(
+        self,
+        component: str | None = None,
+        categories: typing.Collection[str] | None = None,
+    ) -> float:
+        """Joules summed over the whole fleet.
+
+        Column-major (fast whole-array reads); use per-node
+        :meth:`total_for` accumulation where bit-compatibility with a
+        node-by-node sum matters.
+        """
+        total = 0.0
+        for (comp, cat), column in self._energy.items():
+            if component is not None and comp != component:
+                continue
+            if categories is not None and cat not in categories:
+                continue
+            total += sum(column)
+        return total
+
+    def components(self) -> set[str]:
+        """Every component name the bank has charges for."""
+        return {comp for comp, _cat in self._energy}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MeterBank nodes={self.n_nodes} "
+            f"columns={len(self._energy)} total={self.fleet_total():.6f} J>"
+        )
+
+
+class NodeMeter:
+    """One node's view of a :class:`MeterBank` (EnergyMeter-compatible).
+
+    Implements the charging/reading duck type radios and integrators use
+    (``charge``/``total``/``breakdown``/``by_category``/``name``) while
+    storing nothing per node beyond the bank reference and the index.
+    """
+
+    __slots__ = ("bank", "index")
+
+    def __init__(self, bank: MeterBank, index: int):
+        self.bank = bank
+        self.index = index
+
+    @property
+    def name(self) -> str:
+        """Report label, e.g. ``node14``."""
+        return f"{self.bank.name_prefix}{self.index}"
+
+    def charge(self, joules: float, component: str, category: str) -> None:
+        """Add ``joules`` under ``(component, category)`` for this node."""
+        self.bank.charge(self.index, joules, component, category)
+
+    def total(
+        self,
+        component: str | None = None,
+        categories: typing.Collection[str] | None = None,
+    ) -> float:
+        """Total joules for this node, optionally filtered."""
+        return self.bank.total_for(self.index, component, categories)
+
+    def breakdown(self) -> dict[tuple[str, str], float]:
+        """This node's raw (component, category) → joules mapping.
+
+        Key order matches the equivalent per-node meter's dict-insertion
+        order (see :meth:`MeterBank.node_items`).
+        """
+        return dict(self.bank.node_items(self.index))
+
+    def by_category(self, component: str | None = None) -> dict[str, float]:
+        """Joules per category (summed over components unless one given)."""
+        out: dict[str, float] = collections.defaultdict(float)
+        for (comp, cat), joules in self.bank.node_items(self.index):
+            if component is None or comp == component:
+                out[cat] += joules
+        return dict(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<NodeMeter {self.name!r} total={self.total():.6f} J>"
 
 
 class PowerIntegrator:

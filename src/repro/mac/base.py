@@ -58,7 +58,11 @@ class ContentionMac:
         self.radio = radio
         self.params = params
         self.name = name or f"mac.{radio.node_id}.{radio.spec.name}"
-        self._rng = sim.rng.stream(f"{self.name}.backoff")
+        # The backoff stream materializes on first contention: its seed is
+        # a pure function of the stream *name*, so deferring creation is
+        # trace-identical — and a 10k-node fleet skips 20k sha256 seed
+        # derivations for MACs that never transmit.
+        self._rng: typing.Any = None
         radio.set_receiver(self._on_frame)
         radio.preamble_s = params.preamble_s
         self._queue: collections.deque[tuple[Frame, Event]] = collections.deque()
@@ -180,8 +184,11 @@ class ContentionMac:
         params = self.params
         busy_cap = params.busy_cap_slots or params.cw_max_slots
         window = params.contention_window(attempt)
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = self.sim.rng.stream(f"{self.name}.backoff")
         while True:
-            slots = self._rng.randrange(window)
+            slots = rng.randrange(window)
             yield self.sim.timeout(params.difs_s + slots * params.slot_s)
             if not self.medium_busy():
                 return

@@ -18,6 +18,12 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import Simulator
 
 
+#: The default parameter set, built once: :class:`MacParams` is a frozen
+#: dataclass, so every MAC in a fleet shares this flyweight instead of
+#: constructing an identical copy per node.
+_DEFAULT_PARAMS = sensor_csma_params()
+
+
 class SensorCsmaMac(ContentionMac):
     """CSMA/CA MAC for the low-power radio."""
 
@@ -28,4 +34,4 @@ class SensorCsmaMac(ContentionMac):
         params: MacParams | None = None,
         name: str | None = None,
     ):
-        super().__init__(sim, radio, params or sensor_csma_params(), name=name)
+        super().__init__(sim, radio, params or _DEFAULT_PARAMS, name=name)

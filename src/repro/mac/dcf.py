@@ -21,6 +21,12 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import Simulator
 
 
+#: The default parameter set, built once: :class:`MacParams` is a frozen
+#: dataclass, so every MAC in a fleet shares this flyweight instead of
+#: constructing an identical copy per node.
+_DEFAULT_PARAMS = dcf_params()
+
+
 class DcfMac(ContentionMac):
     """802.11 DCF MAC driving a :class:`HighPowerRadio`."""
 
@@ -31,7 +37,7 @@ class DcfMac(ContentionMac):
         params: MacParams | None = None,
         name: str | None = None,
     ):
-        super().__init__(sim, radio, params or dcf_params(), name=name)
+        super().__init__(sim, radio, params or _DEFAULT_PARAMS, name=name)
 
     def _radio_ready(self) -> bool:
         radio = typing.cast(HighPowerRadio, self.radio)

@@ -54,17 +54,15 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-import networkx
-
 from repro.channel.medium import LossModel, Medium
 from repro.channel.propagation import (
     PROPAGATION,
     PropagationSpec,
     build_propagation,
 )
-from repro.core.bcp import BcpAgent
+from repro.core.bcp import BcpAgent, BcpNodeSpec
 from repro.core.config import BcpConfig
-from repro.energy.meter import EnergyMeter
+from repro.energy.meter import MeterBank, NodeMeter
 from repro.energy.radio_specs import (
     CABLETRON,
     LUCENT_11,
@@ -374,17 +372,26 @@ def multi_hop_config(**overrides: typing.Any) -> ScenarioConfig:
 
 
 class _BuiltNetwork:
-    """Everything a run produces, for post-run metric extraction."""
+    """Everything a run produces, for post-run metric extraction.
+
+    Per-node collections are struct-of-arrays style: flat lists indexed
+    by node id (deployments are validated contiguous ``0..n-1`` by the
+    topology registry), and all energy accounting lives in one shared
+    :class:`~repro.energy.meter.MeterBank` whose per-node views populate
+    :attr:`meters`.  Stacks a model does not build stay empty (e.g. no
+    high radios in the sensor-only model).
+    """
 
     def __init__(self) -> None:
         self.sim: Simulator | None = None
         self.layout: Layout | None = None
-        self.meters: dict[int, EnergyMeter] = {}
-        self.low_radios: dict[int, LowPowerRadio] = {}
-        self.high_radios: dict[int, HighPowerRadio] = {}
-        self.low_macs: dict[int, SensorCsmaMac] = {}
-        self.high_macs: dict[int, DcfMac] = {}
-        self.agents: dict[int, typing.Any] = {}
+        self.meter_bank: MeterBank | None = None
+        self.meters: list[NodeMeter] = []
+        self.low_radios: list[LowPowerRadio] = []
+        self.high_radios: list[HighPowerRadio] = []
+        self.low_macs: list[SensorCsmaMac] = []
+        self.high_macs: list[DcfMac] = []
+        self.agents: list[typing.Any] = []
         self.sources: list[typing.Any] = []
         self.collector: SinkCollector | None = None
         self.mediums: list[Medium] = []
@@ -441,25 +448,20 @@ def _audibility_routing(
     — keeping only bidirectional links, since every tier's protocols need
     the reverse direction (CSMA acks, BCP's wakeup handshake).
 
-    The lazy engine skips networkx entirely: the bidirectional link list
-    goes straight into a :class:`~repro.net.csr.CsrGraph`.
+    Both engines route over the same :class:`~repro.net.csr.CsrGraph`
+    built from the bidirectional link list — networkx is out of the
+    construction path entirely (the eager engine's CSR build is
+    byte-compatible with its historical networkx one).
     """
+    links = [
+        (a, b)
+        for a in layout.node_ids
+        for b in medium.neighbors(a)
+        if a < b and medium.is_neighbor(b, a)
+    ]
+    graph = CsrGraph.from_links(layout.node_ids, links)
     if engine == ENGINE_LAZY:
-        links = [
-            (a, b)
-            for a in layout.node_ids
-            for b in medium.neighbors(a)
-            if a < b and medium.is_neighbor(b, a)
-        ]
-        return LazyRoutingTable(
-            CsrGraph.from_links(layout.node_ids, links), rng=rng
-        )
-    graph = networkx.Graph()
-    graph.add_nodes_from(layout.node_ids)
-    for a in layout.node_ids:
-        for b in medium.neighbors(a):
-            if a < b and medium.is_neighbor(b, a):
-                graph.add_edge(a, b, distance=layout.distance(a, b))
+        return LazyRoutingTable(graph, rng=rng)
     return RoutingTable(graph, rng=rng)
 
 
@@ -478,12 +480,12 @@ def _build_low_stack(
         propagation=_propagation_for(config, sim, layout, "low"),
     )
     built.mediums.append(medium)
+    low_spec = config.low_spec
+    meters = built.meters
     for node in range(config.n_nodes):
-        radio = LowPowerRadio(
-            sim, node, config.low_spec, medium, built.meters[node]
-        )
-        built.low_radios[node] = radio
-        built.low_macs[node] = SensorCsmaMac(sim, radio)
+        radio = LowPowerRadio(sim, node, low_spec, medium, meters[node])
+        built.low_radios.append(radio)
+        built.low_macs.append(SensorCsmaMac(sim, radio))
     engine = config.routing_engine()
     with phase("routing_build"):
         if config.propagation is not None:
@@ -513,12 +515,21 @@ def _build_high_stack(
         propagation=_propagation_for(config, sim, layout, "high"),
     )
     built.mediums.append(medium)
+    meters = built.meters
+    # The homogeneous fleet shares one spec object; only an explicit
+    # assignment pays the per-node resolution.
+    uniform_spec = (
+        config.effective_high_spec() if config.high_radios is None else None
+    )
     for node in range(config.n_nodes):
-        radio = HighPowerRadio(
-            sim, node, config.high_spec_for(node), medium, built.meters[node]
+        spec = (
+            uniform_spec
+            if uniform_spec is not None
+            else config.high_spec_for(node)
         )
-        built.high_radios[node] = radio
-        built.high_macs[node] = DcfMac(sim, radio)
+        radio = HighPowerRadio(sim, node, spec, medium, meters[node])
+        built.high_radios.append(radio)
+        built.high_macs.append(DcfMac(sim, radio))
     engine = config.routing_engine()
     with phase("routing_build"):
         if config.high_radios is None and config.propagation is None:
@@ -567,38 +578,52 @@ def _check_sender_routes(
 
 
 def build_network(config: ScenarioConfig, sim: Simulator) -> _BuiltNetwork:
-    """Construct the full network for ``config`` inside ``sim``."""
+    """Construct the full network for ``config`` inside ``sim``.
+
+    Per-node construction is flyweight-shaped: all class-level data (BCP
+    config, routing tables, MAC parameters, delivery callbacks) is built
+    once and shared, per-node energy state lives in one struct-of-arrays
+    :class:`~repro.energy.meter.MeterBank`, and the loop that stamps out
+    nodes allocates only each node's identity-bearing objects (radios,
+    MACs, the agent shell).  That is what makes a 10k-node composed
+    scenario a seconds-scale build (see ``repro bench``'s
+    ``scenario-compose-10k`` case).
+    """
     built = _BuiltNetwork()
     built.sim = sim
     built.layout = config.build_layout(sim)
-    built.meters = {
-        node: EnergyMeter(f"node{node}") for node in range(config.n_nodes)
-    }
+    n_nodes = config.n_nodes
+    built.meter_bank = MeterBank(n_nodes)
+    built.meters = [built.meter_bank.meter(node) for node in range(n_nodes)]
     built.collector = SinkCollector(sim, config.sink)
 
     route_tables: dict[str, RoutingLike] = {}
     if config.model == MODEL_SENSOR:
         low_table = _build_low_stack(config, sim, built)
         route_tables["low"] = low_table
-        for node in range(config.n_nodes):
-            built.agents[node] = ForwardingAgent(
-                sim,
-                node,
-                built.low_macs[node],
-                low_table,
-                built.collector.deliver,
+        for node in range(n_nodes):
+            built.agents.append(
+                ForwardingAgent(
+                    sim,
+                    node,
+                    built.low_macs[node],
+                    low_table,
+                    built.collector.deliver,
+                )
             )
     elif config.model == MODEL_WIFI:
         high_table = _build_high_stack(config, sim, built)
         route_tables["high"] = high_table
-        for node in range(config.n_nodes):
+        for node in range(n_nodes):
             built.high_radios[node].wake()
-            built.agents[node] = ForwardingAgent(
-                sim,
-                node,
-                built.high_macs[node],
-                high_table,
-                built.collector.deliver,
+            built.agents.append(
+                ForwardingAgent(
+                    sim,
+                    node,
+                    built.high_macs[node],
+                    high_table,
+                    built.collector.deliver,
+                )
             )
     else:  # MODEL_DUAL
         low_table = _build_low_stack(config, sim, built)
@@ -606,42 +631,55 @@ def build_network(config: ScenarioConfig, sim: Simulator) -> _BuiltNetwork:
         route_tables["low"] = low_table
         route_tables["high"] = high_table
         address_map = AddressMap()
-        for node in range(config.n_nodes):
+        for node in range(n_nodes):
             address_map.register_node(node, has_high_radio=True)
-        def bcp_config_for(node: int) -> BcpConfig:
-            # The sink is the collection point: packets addressed to it are
-            # consumed on arrival, never re-buffered, so it advertises the
-            # flow control of a host-class basestation (unbounded buffer)
-            # rather than reserving mote RAM for data that never lands.
-            capacity = (
-                float("inf")
-                if node == config.sink
-                else float(config.buffer_packets * config.payload_bytes)
-            )
-            return BcpConfig.for_burst_packets(
-                config.burst_packets,
-                packet_payload_bytes=config.payload_bytes,
-                buffer_capacity_bytes=capacity,
-                wakeup_timeout_s=config.wakeup_timeout_s,
-                receiver_idle_timeout_s=config.receiver_idle_timeout_s,
-                idle_linger_s=config.idle_linger_s,
-                flow_control=config.flow_control,
-                shortcut_learning=config.shortcut_learning,
-                shortcut_observation=config.shortcut_observation,
-            )
-
-        for node in range(config.n_nodes):
-            built.agents[node] = BcpAgent(
-                sim,
-                node,
-                bcp_config_for(node),
-                low_mac=built.low_macs[node],
-                high_mac=built.high_macs[node],
-                high_radio=built.high_radios[node],
-                low_routing=low_table,
-                high_routing=high_table,
-                deliver=built.collector.deliver,
-                address_map=address_map,
+        # Two node classes exist in a paper scenario, so two shared
+        # flyweights cover the whole fleet: the sink is the collection
+        # point — packets addressed to it are consumed on arrival, never
+        # re-buffered — so it advertises the flow control of a host-class
+        # basestation (unbounded buffer) rather than reserving mote RAM
+        # for data that never lands.  Everyone else shares one mote
+        # config.  Specs are immutable by contract (see
+        # :class:`~repro.core.bcp.BcpNodeSpec`).
+        node_config = BcpConfig.for_burst_packets(
+            config.burst_packets,
+            packet_payload_bytes=config.payload_bytes,
+            buffer_capacity_bytes=float(
+                config.buffer_packets * config.payload_bytes
+            ),
+            wakeup_timeout_s=config.wakeup_timeout_s,
+            receiver_idle_timeout_s=config.receiver_idle_timeout_s,
+            idle_linger_s=config.idle_linger_s,
+            flow_control=config.flow_control,
+            shortcut_learning=config.shortcut_learning,
+            shortcut_observation=config.shortcut_observation,
+        )
+        node_spec = BcpNodeSpec(
+            sim=sim,
+            config=node_config,
+            low_routing=low_table,
+            high_routing=high_table,
+            deliver=built.collector.deliver,
+            address_map=address_map,
+        )
+        sink_spec = dataclasses.replace(
+            node_spec,
+            config=dataclasses.replace(
+                node_config, buffer_capacity_bytes=float("inf")
+            ),
+        )
+        sink = config.sink
+        low_macs, high_macs = built.low_macs, built.high_macs
+        high_radios = built.high_radios
+        for node in range(n_nodes):
+            built.agents.append(
+                BcpAgent.from_spec(
+                    sink_spec if node == sink else node_spec,
+                    node,
+                    low_macs[node],
+                    high_macs[node],
+                    high_radios[node],
+                )
             )
 
     senders = select_senders(config, sim)
@@ -663,22 +701,38 @@ def _collect_energy(
 ) -> dict[str, float]:
     low_component = f"radio.{config.low_spec.name}"
     ideal = header = full_low = high_full = 0.0
-    for radio in built.high_radios.values():
+    for radio in built.high_radios:
         radio.flush_accounting()
-    for node, meter in built.meters.items():
-        ideal += meter.total(low_component, categories=("tx", "rx"))
-        header_part = meter.total(
-            low_component, categories=(CATEGORY_OVERHEAR_HEADER,)
+    bank = built.meter_bank
+    assert bank is not None
+    # Node-major accumulation, each node's terms in its own first-charge
+    # order: float addition is not associative, and this is exactly the
+    # summation order of the historical per-node meters — the pinned
+    # golden digests encode it to the last ulp.
+    uniform_high = (
+        f"radio.{config.effective_high_spec().name}"
+        if config.high_radios is None
+        else None
+    )
+    for node in range(config.n_nodes):
+        ideal += bank.total_for(node, low_component, categories=("tx", "rx"))
+        header_part = bank.total_for(
+            node, low_component, categories=(CATEGORY_OVERHEAR_HEADER,)
         )
-        body_part = meter.total(
-            low_component, categories=(CATEGORY_OVERHEAR_BODY,)
+        body_part = bank.total_for(
+            node, low_component, categories=(CATEGORY_OVERHEAR_BODY,)
         )
         header += header_part
         full_low += header_part + body_part
         # Heterogeneous fleets meter each node under its own NIC's
-        # component name; resolve per node (same name everywhere when no
+        # component name; resolve per node (one shared name when no
         # assignment is configured).
-        high_full += meter.total(f"radio.{config.high_spec_for(node).name}")
+        high_component = (
+            uniform_high
+            if uniform_high is not None
+            else f"radio.{config.high_spec_for(node).name}"
+        )
+        high_full += bank.total_for(node, high_component)
     energy = {
         ENERGY_SENSOR_IDEAL: ideal,
         ENERGY_SENSOR_HEADER: ideal + header,
@@ -709,11 +763,11 @@ def _collect_counters(built: _BuiltNetwork) -> dict[str, float]:
         bump(f"{prefix}.delivered", medium.frames_delivered)
         bump(f"{prefix}.collided", medium.frames_collided)
         bump(f"{prefix}.lost", medium.frames_lost)
-    for mac in list(built.low_macs.values()) + list(built.high_macs.values()):
+    for mac in built.low_macs + built.high_macs:
         bump("mac.retransmissions", mac.retransmissions)
         bump("mac.sent_failed", mac.sent_failed)
         bump("mac.queue_drops", mac.queue_drops)
-    for agent in built.agents.values():
+    for agent in built.agents:
         if isinstance(agent, BcpAgent):
             stats = agent.stats
             bump("bcp.wakeups", stats.wakeups_sent)

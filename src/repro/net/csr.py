@@ -29,7 +29,7 @@ import bisect
 import math
 import typing
 
-from repro.topology.geometry import RANGE_EPSILON_M, in_range
+from repro.topology.geometry import RANGE_EPSILON_M
 
 if typing.TYPE_CHECKING:  # pragma: no cover - type-only imports
     import networkx
@@ -80,28 +80,51 @@ class CsrGraph:
         """
         # Cells are sized to in_range()'s *inclusive* reach (nominal range
         # plus the boundary epsilon): a link the predicate accepts then
-        # never spans more than one cell per axis, so the 3x3 window below
-        # cannot miss grid neighbors placed at exactly the nominal range.
+        # never spans more than one cell per axis, so the one-cell window
+        # below cannot miss grid neighbors placed at exactly the range.
         cell = max(range_m + RANGE_EPSILON_M, 1e-9)
-        positions = {node: layout.position(node) for node in layout.node_ids}
+        limit = range_m + RANGE_EPSILON_M
+        node_ids = tuple(layout.node_ids)
+        position = layout.position
+        positions = {node: position(node) for node in node_ids}
+        floor, hypot = math.floor, math.hypot
         buckets: dict[tuple[int, int], list[int]] = {}
         for node, pos in positions.items():
             buckets.setdefault(
-                (math.floor(pos.x / cell), math.floor(pos.y / cell)), []
+                (floor(pos.x / cell), floor(pos.y / cell)), []
             ).append(node)
-        adjacency: dict[int, list[int]] = {}
-        for node, pos in positions.items():
-            cx, cy = math.floor(pos.x / cell), math.floor(pos.y / cell)
-            found: list[int] = []
-            for bx in range(cx - 1, cx + 2):
-                for by in range(cy - 1, cy + 2):
-                    for other in buckets.get((bx, by), ()):
-                        if other != node and in_range(
-                            pos, positions[other], range_m
-                        ):
-                            found.append(other)
-            adjacency[node] = found
-        return cls(tuple(positions), adjacency)
+        adjacency: dict[int, list[int]] = {node: [] for node in node_ids}
+        # Each unordered pair is tested exactly once: within a bucket, and
+        # against the four "forward" neighbor buckets (the other four are
+        # covered when those buckets take their turn).  The distance test
+        # is ``hypot(dx, dy) <= limit`` — the same arithmetic as
+        # ``in_range`` — so the edge set stays bit-identical to the O(n²)
+        # ``layout.graph(range_m)`` scan.
+        forward = ((1, -1), (1, 0), (1, 1), (0, 1))
+        for (cx, cy), members in buckets.items():
+            for i, a in enumerate(members):
+                pa = positions[a]
+                ax, ay = pa.x, pa.y
+                row_a = adjacency[a]
+                for b in members[i + 1 :]:
+                    pb = positions[b]
+                    if hypot(ax - pb.x, ay - pb.y) <= limit:
+                        row_a.append(b)
+                        adjacency[b].append(a)
+            for dx, dy in forward:
+                others = buckets.get((cx + dx, cy + dy))
+                if not others:
+                    continue
+                for a in members:
+                    pa = positions[a]
+                    ax, ay = pa.x, pa.y
+                    row_a = adjacency[a]
+                    for b in others:
+                        pb = positions[b]
+                        if hypot(ax - pb.x, ay - pb.y) <= limit:
+                            row_a.append(b)
+                            adjacency[b].append(a)
+        return cls(node_ids, adjacency)
 
     @classmethod
     def from_links(
@@ -135,6 +158,21 @@ class CsrGraph:
     def n_edges(self) -> int:
         """Undirected edge count."""
         return len(self.indices) // 2
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """All undirected edges as ``(a, b)`` id pairs with ``a < b``.
+
+        Property (not a method) to mirror ``networkx.Graph.edges``, so
+        graph-shaped consumers can iterate either representation.
+        """
+        ids, indptr, indices = self.ids, self.indptr, self.indices
+        return [
+            (ids[i], ids[j])
+            for i in range(len(ids))
+            for j in indices[indptr[i] : indptr[i + 1]]
+            if i < j
+        ]
 
     def index(self, node_id: int) -> int:
         """The CSR index of ``node_id`` (KeyError if absent)."""

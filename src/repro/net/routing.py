@@ -11,6 +11,10 @@ Two engines implement the same query API:
 * :class:`RoutingTable` — the historical eager engine: one BFS per
   destination, all destinations materialized at construction.  O(n · (V+E))
   build, O(n²) storage; byte-compatible with every pinned golden digest.
+  Since PR 5 the build runs over the same :class:`~repro.net.csr.CsrGraph`
+  int arrays the lazy engine uses (indexes map ids monotonically, so BFS
+  visit order and every threaded-rng draw are unchanged) — networkx is
+  accepted for interop but flattened once at construction.
 * :class:`LazyRoutingTable` — the scale engine: a shared
   :class:`~repro.net.csr.CsrGraph` adjacency (int arrays, no networkx on
   the hot path) plus per-destination BFS trees computed on first use and
@@ -136,7 +140,12 @@ class RoutingTable(_QueryMixin):
     Parameters
     ----------
     graph:
-        Undirected connectivity graph (e.g. from :meth:`Layout.graph`).
+        Undirected connectivity graph: a
+        :class:`~repro.net.csr.CsrGraph`, or any networkx-like graph
+        (e.g. from :meth:`Layout.graph`), which is flattened to CSR
+        arrays once at construction.  Either way the build itself runs on
+        the int-array adjacency — the same arrays the lazy engine walks —
+        not on networkx dict-of-dicts.
     rng:
         Optional ``random.Random``-like stream; when given, ties between
         equal-cost parents break uniformly at random (deterministically
@@ -150,6 +159,11 @@ class RoutingTable(_QueryMixin):
     -----
     Routes minimize hop count.  ``next_hop(u, v)`` is the neighbor of ``u``
     on the chosen shortest path to ``v``.
+
+    The CSR port is byte-compatible with the historical dict build: CSR
+    indexes map ids monotonically (both ascend), so BFS visit order,
+    per-visit neighbor order, and therefore every threaded-rng shuffle
+    draw are exactly the sequence the pinned golden digests encode.
     """
 
     def __init__(
@@ -164,104 +178,133 @@ class RoutingTable(_QueryMixin):
                 f"{TIE_THREADED!r} or {TIE_PER_DESTINATION!r}"
             )
         self.graph = graph
+        if isinstance(graph, CsrGraph):
+            self.adjacency = graph
+        else:
+            self.adjacency = CsrGraph.from_networkx(graph)
         self._rng = rng
         self._tie_break = tie_break
         self._tie_seed: int | None = None
         if rng is not None and tie_break == TIE_PER_DESTINATION:
             self._tie_seed = rng.getrandbits(64)
-        self._next_hop: dict[tuple[int, int], int] = {}
-        self._hops: dict[tuple[int, int], int] = {}
-        # Each node's base (ascending-id) neighbor order, computed ONCE:
-        # the historical build re-sorted every node's neighbors on every
-        # visit of every destination's BFS — an O(n · E log d) tax paid
-        # for data that never changes within a build.
-        self._base_order: dict[int, list[int]] = {
-            node: sorted(graph.neighbors(node)) for node in graph.nodes
-        }
-        self._node_ids: tuple[int, ...] = tuple(graph.nodes)
+        #: Per-destination-index parent/depth arrays (index space; -1 =
+        #: unreachable) — the same tree layout the lazy engine memoizes,
+        #: materialized for every destination up front.
+        self._parents: list[list[int]] = []
+        self._depths: list[list[int]] = []
         self._build()
 
     def _build(self) -> None:
-        # BFS from every destination; parent choice order decides how ties
-        # break (sorted = deterministic, shuffled = load-spreading).
-        base = self._base_order
-        next_hops, hops = self._next_hop, self._hops
-        for dst in sorted(self._node_ids):
+        # BFS from every destination over the CSR arrays; parent choice
+        # order decides how ties break (ascending = deterministic,
+        # shuffled = load-spreading).  Destinations run in ascending id
+        # order — with a threaded rng that order *is* the draw sequence
+        # the golden digests pin.
+        csr = self.adjacency
+        indptr, indices = csr.indptr, csr.indices
+        n = len(csr.ids)
+        threaded_rng = self._rng if self._tie_seed is None else None
+        for dst_idx in range(n):
             if self._tie_seed is not None:
-                rng = destination_rng(self._tie_seed, dst)
+                rng = destination_rng(self._tie_seed, csr.ids[dst_idx])
             else:
-                rng = self._rng
-            parents = {dst: dst}
-            depth = {dst: 0}
-            frontier = [dst]
+                rng = threaded_rng
+            parent = [-1] * n
+            depth = [-1] * n
+            parent[dst_idx] = dst_idx
+            depth[dst_idx] = 0
+            frontier = [dst_idx]
             while frontier:
                 next_frontier: list[int] = []
                 for node in frontier:
+                    node_depth = depth[node] + 1
                     if rng is None:
-                        order = base[node]
+                        for j in range(indptr[node], indptr[node + 1]):
+                            neighbor = indices[j]
+                            if parent[neighbor] < 0:
+                                parent[neighbor] = node
+                                depth[neighbor] = node_depth
+                                next_frontier.append(neighbor)
                     else:
-                        # A fresh copy per visit keeps the rng draw
+                        # A fresh slice per visit keeps the rng draw
                         # sequence identical to the historical
                         # sort-then-shuffle (shuffle consumption depends
                         # only on list length).
-                        order = base[node][:]
+                        order = indices[indptr[node] : indptr[node + 1]]
                         rng.shuffle(order)
-                    node_depth = depth[node] + 1
-                    for neighbor in order:
-                        if neighbor not in parents:
-                            parents[neighbor] = node
-                            depth[neighbor] = node_depth
-                            next_frontier.append(neighbor)
+                        for neighbor in order:
+                            if parent[neighbor] < 0:
+                                parent[neighbor] = node
+                                depth[neighbor] = node_depth
+                                next_frontier.append(neighbor)
                 frontier = next_frontier
-            for node, parent in parents.items():
-                if node != dst:
-                    next_hops[(node, dst)] = parent
-                    hops[(node, dst)] = depth[node]
+            self._parents.append(parent)
+            self._depths.append(depth)
 
     @property
     def node_ids(self) -> tuple[int, ...]:
-        """All routable node ids (graph insertion order)."""
-        return self._node_ids
+        """All routable node ids, ascending."""
+        return self.adjacency.ids
 
     def has_edge(self, a: int, b: int) -> bool:
         """Whether ``a`` and ``b`` are directly linked."""
-        return self.graph.has_edge(a, b)
+        return self.adjacency.has_edge(a, b)
+
+    def _pair_indexes(self, src: int, dst: int) -> tuple[int, int] | None:
+        """Both ids' CSR indexes, or None when either id is unknown."""
+        csr = self.adjacency
+        try:
+            return csr.index(src), csr.index(dst)
+        except KeyError:
+            return None
 
     def has_route(self, src: int, dst: int) -> bool:
         """Whether a path from ``src`` to ``dst`` exists."""
-        return src == dst or (src, dst) in self._next_hop
+        if src == dst:
+            return True
+        indexes = self._pair_indexes(src, dst)
+        if indexes is None:
+            return False
+        src_idx, dst_idx = indexes
+        return self._parents[dst_idx][src_idx] >= 0
 
     def next_hop(self, src: int, dst: int) -> int:
         if src == dst:
             raise RoutingError(f"node {src} routing to itself")
-        try:
-            return self._next_hop[(src, dst)]
-        except KeyError:
-            raise RoutingError(f"no route from {src} to {dst}") from None
+        indexes = self._pair_indexes(src, dst)
+        if indexes is None:
+            raise RoutingError(f"no route from {src} to {dst}")
+        src_idx, dst_idx = indexes
+        hop = self._parents[dst_idx][src_idx]
+        if hop < 0:
+            raise RoutingError(f"no route from {src} to {dst}")
+        return self.adjacency.ids[hop]
 
     next_hop.__doc__ = _QueryMixin.next_hop.__doc__
 
     def hops(self, src: int, dst: int) -> int:
         if src == dst:
             return 0
-        try:
-            return self._hops[(src, dst)]
-        except KeyError:
-            raise RoutingError(f"no route from {src} to {dst}") from None
+        indexes = self._pair_indexes(src, dst)
+        if indexes is None:
+            raise RoutingError(f"no route from {src} to {dst}")
+        src_idx, dst_idx = indexes
+        count = self._depths[dst_idx][src_idx]
+        if count < 0:
+            raise RoutingError(f"no route from {src} to {dst}")
+        return count
 
     hops.__doc__ = _QueryMixin.hops.__doc__
 
     def depths_to(self, sink: int) -> dict[int, int]:
         """Hop distance of every node that can reach ``sink`` (incl. itself)."""
-        depths = {}
-        for node in self._node_ids:
-            if node == sink:
-                depths[node] = 0
-            else:
-                hops = self._hops.get((node, sink))
-                if hops is not None:
-                    depths[node] = hops
-        return depths
+        csr = self.adjacency
+        if sink not in csr:
+            return {}
+        depth = self._depths[csr.index(sink)]
+        return {
+            node: depth[i] for i, node in enumerate(csr.ids) if depth[i] >= 0
+        }
 
 
 class LazyRoutingTable(_QueryMixin):
@@ -442,9 +485,11 @@ def build_routing(
     """Routing table for radios of ``range_m`` deployed as ``layout``.
 
     ``engine="eager"`` (default) keeps the historical all-pairs build;
-    ``engine="lazy"`` returns a :class:`LazyRoutingTable` whose adjacency
-    comes straight from the layout via a spatial hash — no networkx, no
-    O(n²) work — with per-destination tie-breaking.
+    ``engine="lazy"`` returns a :class:`LazyRoutingTable` with
+    per-destination tie-breaking.  Both engines now share the same
+    adjacency source — :meth:`CsrGraph.from_layout`'s spatial hash, which
+    is edge-identical to ``layout.graph(range_m)`` without the O(n²)
+    pairwise scan — so the eager build too skips networkx entirely.
     """
     if engine == ENGINE_LAZY:
         return LazyRoutingTable.from_layout(layout, range_m, rng=rng)
@@ -453,7 +498,7 @@ def build_routing(
             f"unknown routing engine {engine!r}; expected "
             f"{ENGINE_EAGER!r} or {ENGINE_LAZY!r}"
         )
-    return RoutingTable(layout.graph(range_m), rng=rng)
+    return RoutingTable(CsrGraph.from_layout(layout, range_m), rng=rng)
 
 
 def tree_depths(table: RoutingLike, sink: int) -> dict[int, int]:

@@ -27,7 +27,7 @@ import sys
 import time
 import typing
 
-from repro.perf.suite import BenchCase, bench_cases, ratio_gates
+from repro.perf.suite import BenchCase, bench_cases, ratio_gates, wall_budgets
 
 #: Format version of the BENCH json files.
 BENCH_SCHEMA = 1
@@ -164,6 +164,15 @@ def run_suite(
         gate.name: results[gate.slow_case].wall_s / results[gate.fast_case].wall_s
         for gate in ratio_gates(results)
     }
+    # Budget checks record the measured wall under the budget's name so
+    # the persisted report shows how much headroom each acceptance
+    # criterion had.
+    checks.update(
+        {
+            budget.name: results[budget.case].wall_s
+            for budget in wall_budgets(results)
+        }
+    )
     return BenchReport(
         rev=rev or git_rev(),
         suite=suite,
@@ -178,7 +187,7 @@ def run_suite(
 
 
 def failed_gates(report: BenchReport) -> list[str]:
-    """Human-readable failures of the machine-independent ratio gates."""
+    """Failures of the machine-independent ratio gates and wall budgets."""
     failures = []
     for gate in ratio_gates(report.results):
         ratio = report.checks.get(gate.name)
@@ -186,6 +195,13 @@ def failed_gates(report: BenchReport) -> list[str]:
             failures.append(
                 f"{gate.name}: {gate.slow_case} / {gate.fast_case} = "
                 f"{ratio:.1f}x, below the required {gate.min_ratio:g}x"
+            )
+    for budget in wall_budgets(report.results):
+        wall = report.results[budget.case].wall_s
+        if wall > budget.max_wall_s:
+            failures.append(
+                f"{budget.name}: {budget.case} took {wall:.2f}s, over the "
+                f"{budget.max_wall_s:g}s acceptance budget"
             )
     return failures
 
@@ -211,14 +227,23 @@ def load_report(path: str | pathlib.Path) -> BenchReport:
         raise ValueError(
             f"{path}: BENCH schema {schema!r} (this build reads {BENCH_SCHEMA})"
         )
-    results = {
-        name: CaseResult(
-            wall_s=float(entry["wall_s"]),
-            repeats=int(entry.get("repeats", 1)),
-            ops={k: float(v) for k, v in entry.get("ops", {}).items()},
-        )
-        for name, entry in payload["results"].items()
-    }
+    raw_results = payload.get("results", {})
+    if not isinstance(raw_results, dict):
+        raise ValueError(f"{path}: BENCH results is not a JSON object")
+    results = {}
+    for name, entry in raw_results.items():
+        try:
+            results[name] = CaseResult(
+                wall_s=float(entry["wall_s"]),
+                repeats=int(entry.get("repeats", 1)),
+                ops={k: float(v) for k, v in entry.get("ops", {}).items()},
+            )
+        except (KeyError, TypeError, ValueError):
+            # A hand-edited or older-generation entry missing its wall
+            # time (or carrying a non-numeric one) drops out of the
+            # comparison instead of aborting it: the remaining cases and
+            # the ratio gates still gate the run.
+            continue
     return BenchReport(
         rev=str(payload.get("rev", "unknown")),
         suite=str(payload.get("suite", "unknown")),
@@ -251,6 +276,46 @@ def _created_stamp(path: pathlib.Path) -> float:
     return stamp.timestamp()
 
 
+def _dirty_bench_names(directory: str | pathlib.Path) -> set[str] | None:
+    """Basenames of BENCH files git considers dirty in ``directory``.
+
+    Dirty means untracked or modified relative to HEAD — a bench run
+    someone forgot to commit (or a hand-edited baseline) that must not
+    silently become the regression baseline.  Returns ``None`` when the
+    directory is not inside a git work tree (or git is unavailable), in
+    which case every candidate is eligible — a plain output directory
+    has no notion of committed.
+    """
+    try:
+        status = subprocess.run(
+            [
+                "git",
+                "status",
+                "--porcelain",
+                "--untracked-files=all",
+                "--",
+                BENCH_GLOB,
+            ],
+            cwd=str(directory),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if status.returncode != 0:
+        return None
+    dirty: set[str] = set()
+    for line in status.stdout.splitlines():
+        # Porcelain v1: "XY path" (paths relative to the repo root, so
+        # compare basenames — BENCH names are revision-unique).  Renames
+        # read "XY old -> new".
+        path = line[3:].split(" -> ")[-1].strip().strip('"')
+        if path:
+            dirty.add(pathlib.PurePosixPath(path).name)
+    return dirty
+
+
 def find_baseline(
     directory: str | pathlib.Path, exclude_rev: str | None = None
 ) -> pathlib.Path | None:
@@ -260,12 +325,20 @@ def find_baseline(
     zone-aware), with file mtime as the tie-break: in a fresh git
     checkout every committed baseline shares one checkout-time mtime,
     which says nothing about recording order.
+
+    Inside a git work tree, uncommitted or locally modified BENCH files
+    are not baseline material (a leftover local run would otherwise mask
+    real regressions — or invent them); only committed, unmodified
+    reports are considered.  Outside git every report is eligible.
     """
     candidates = [
         path
         for path in pathlib.Path(directory).glob(BENCH_GLOB)
         if exclude_rev is None or path.name != f"BENCH_{exclude_rev}.json"
     ]
+    dirty = _dirty_bench_names(directory)
+    if dirty is not None:
+        candidates = [path for path in candidates if path.name not in dirty]
     if not candidates:
         return None
     return max(

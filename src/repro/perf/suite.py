@@ -5,12 +5,16 @@ Each :class:`BenchCase` is a named, deterministic workload with an untimed
 into suites: ``smoke`` is the CI gate (everything the acceptance criteria
 pin — routing build at 1k/5k nodes, the sim kernel, medium delivery, one
 end-to-end fig-scale cell, a 1k-node composed scenario build); ``full``
-is a superset adding the heavy contention cell.
+is a superset adding the heavy contention cell and the 10k-node scale
+cases (lazy routing and the full composed-scenario build at 10k nodes —
+nightly/full material, too slow for every-PR smoke).
 
 Wall times are machine-dependent, so the committed ``BENCH_*.json``
 baselines gate *relative* regressions (see :mod:`repro.perf.bench`);
 :data:`RATIO_GATES` additionally pins machine-independent speedup ratios
-(lazy vs eager routing must stay ≥ 10× at 1k nodes).
+(lazy vs eager routing must stay ≥ 10× at 1k nodes), and
+:data:`WALL_BUDGETS` pins the absolute acceptance budgets that must hold
+on any CI-class host (a 10k-node composed scenario builds in < 5 s).
 """
 
 from __future__ import annotations
@@ -25,7 +29,12 @@ SUITES = ("smoke", "full")
 #: 1k-node routing benchmark geometry: ~6.6 mean degree at range 60 m.
 _FIELD_1K = 1265.0
 _FIELD_5K = 2830.0
+_FIELD_10K = 4000.0
 _RANGE_M = 60.0
+#: Composed-scenario field widths: ~10 mean sensor-tier degree (range
+#: 40 m), scaled as sqrt(n) to keep density constant.
+_COMPOSE_FIELD_1K = 700.0
+_COMPOSE_FIELD_10K = 2200.0
 #: Senders in the collection-tree workload (sink + forward + reverse
 #: trees — the O(senders + 1) pattern BCP's wakeup handshake queries).
 _N_SENDERS = 32
@@ -51,6 +60,21 @@ class RatioGate:
     slow_case: str
     fast_case: str
     min_ratio: float
+
+
+@dataclasses.dataclass(frozen=True)
+class WallBudget:
+    """An absolute acceptance budget: ``case`` must finish in ``max_wall_s``.
+
+    Unlike the baseline comparison (relative, same-host-class only),
+    budgets encode acceptance criteria that must hold anywhere the suite
+    runs — so they are generous enough for a loaded CI runner while
+    still catching order-of-magnitude construction regressions.
+    """
+
+    name: str
+    case: str
+    max_wall_s: float
 
 
 def _uniform_layout(n: int, field_m: float, seed: int):
@@ -99,7 +123,9 @@ def _case_routing_eager_1k() -> BenchCase:
     )
 
 
-def _case_routing_lazy(n: int, field_m: float) -> BenchCase:
+def _case_routing_lazy(
+    n: int, field_m: float, suites: tuple[str, ...] = SUITES
+) -> BenchCase:
     def setup():
         return _uniform_layout(n, field_m, 1 if n == 1000 else 7)
 
@@ -125,7 +151,8 @@ def _case_routing_lazy(n: int, field_m: float) -> BenchCase:
         ),
         setup=setup,
         run=run,
-        repeats=5,
+        suites=suites,
+        repeats=5 if n <= 5000 else 3,
     )
 
 
@@ -267,7 +294,9 @@ def _case_fig_cell_heavy() -> BenchCase:
     )
 
 
-def _case_scenario_compose_1k() -> BenchCase:
+def _case_scenario_compose(
+    n: int, field_m: float, suites: tuple[str, ...] = SUITES
+) -> BenchCase:
     def setup():
         from repro.models.scenario import ScenarioConfig
         from repro.topology.registry import TopologySpec
@@ -277,7 +306,7 @@ def _case_scenario_compose_1k() -> BenchCase:
         return ScenarioConfig(
             model=MODEL_DUAL_NAME,
             topology=TopologySpec.of(
-                "uniform-random", n=1000, width_m=700.0, height_m=700.0
+                "uniform-random", n=n, width_m=field_m, height_m=field_m
             ),
             sink=0,
             n_senders=10,
@@ -292,20 +321,24 @@ def _case_scenario_compose_1k() -> BenchCase:
 
         with collect_phases() as timings, phase("network_build"):
             sim = Simulator(seed=config.seed)
-            build_network(config, sim)
-        ops: dict[str, float] = {"nodes": float(config.n_nodes)}
+            built = build_network(config, sim)
+        ops: dict[str, float] = {
+            "nodes": float(config.n_nodes),
+            "agents": float(len(built.agents)),
+        }
         for name, seconds in timings.items():
             ops[f"phase.{name}_s"] = seconds
         return ops
 
     return BenchCase(
-        name="scenario-compose-1k",
+        name=f"scenario-compose-{n // 1000}k",
         summary=(
-            "full network build (layout + media + lazy routes) for a "
-            "1k-node composed dual-radio scenario"
+            "full network build (layout + media + flyweight agents + "
+            f"lazy routes) for a {n}-node composed dual-radio scenario"
         ),
         setup=setup,
         run=run,
+        suites=suites,
         repeats=3,
     )
 
@@ -325,6 +358,17 @@ RATIO_GATES = (
     ),
 )
 
+#: Absolute acceptance budgets (checked whenever their case ran): the
+#: 10k-node composed scenario must stay a seconds-scale build on any
+#: CI-class host, per the PR-5 acceptance criteria.
+WALL_BUDGETS = (
+    WallBudget(
+        name="scenario-10k-build-budget",
+        case="scenario-compose-10k",
+        max_wall_s=5.0,
+    ),
+)
+
 
 def all_cases() -> tuple[BenchCase, ...]:
     """Every declared case, in run order."""
@@ -332,11 +376,13 @@ def all_cases() -> tuple[BenchCase, ...]:
         _case_routing_eager_1k(),
         _case_routing_lazy(1000, _FIELD_1K),
         _case_routing_lazy(5000, _FIELD_5K),
+        _case_routing_lazy(10000, _FIELD_10K, suites=("full",)),
         _case_sim_event_loop(),
         _case_medium_delivery(),
         _case_fig_cell(),
         _case_fig_cell_heavy(),
-        _case_scenario_compose_1k(),
+        _case_scenario_compose(1000, _COMPOSE_FIELD_1K),
+        _case_scenario_compose(10000, _COMPOSE_FIELD_10K, suites=("full",)),
     )
 
 
@@ -354,3 +400,8 @@ def ratio_gates(case_names: typing.Collection[str]) -> list[RatioGate]:
         for gate in RATIO_GATES
         if gate.slow_case in case_names and gate.fast_case in case_names
     ]
+
+
+def wall_budgets(case_names: typing.Collection[str]) -> list[WallBudget]:
+    """The budgets whose case is present in ``case_names``."""
+    return [budget for budget in WALL_BUDGETS if budget.case in case_names]

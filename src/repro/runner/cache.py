@@ -149,13 +149,36 @@ class CacheLockedError(RuntimeError):
     """Another GC holds the cache-dir lock; retry later."""
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe).
+
+    ``PermissionError`` means the pid exists but belongs to another
+    user — alive.  Any other failure errs on the side of alive: a lock
+    is only broken on positive evidence of death (or old age).
+    """
+    if pid <= 0:
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
 class CacheDirLock:
     """An exclusive advisory lock on a cache directory (``gc.lock``).
 
     Created with ``O_CREAT | O_EXCL`` so exactly one holder wins; the
-    file records pid and timestamp for post-mortems.  A lock older than
-    ``stale_after_s`` is presumed orphaned by a killed process and is
-    broken.  Used by GC only — result writes are atomic and do not lock.
+    file records pid and timestamp for post-mortems.  A lock is presumed
+    orphaned — and broken — when it is older than ``stale_after_s``, or
+    immediately when its recorded holder pid no longer names a live
+    process (a GC crash would otherwise block every future GC for the
+    full staleness window; a long-dead holder for ever, on filesystems
+    whose clock skews).  A lock whose pid cannot be read (mid-write, or
+    hand-created) falls back to the age policy alone.  Used by GC only —
+    result writes are atomic and do not lock.
     """
 
     def __init__(
@@ -199,10 +222,26 @@ class CacheDirLock:
 
     def _is_stale(self) -> bool:
         try:
-            return time.time() - self.path.stat().st_mtime > self.stale_after_s
+            age = time.time() - self.path.stat().st_mtime
         except OSError:
             # Vanished between exists-check and stat: holder released it.
             return False
+        if age > self.stale_after_s:
+            return True
+        pid = self._holder_pid()
+        return pid is not None and not _pid_alive(pid)
+
+    def _holder_pid(self) -> int | None:
+        """The lock's recorded holder pid, or None when unreadable.
+
+        Unreadable covers the holder-just-created race (the file exists
+        before its JSON is written) — those locks are only ever broken by
+        age.
+        """
+        try:
+            return int(json.loads(self.path.read_text())["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
 
     def __enter__(self) -> "CacheDirLock":
         self.acquire()

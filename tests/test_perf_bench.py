@@ -330,3 +330,142 @@ class TestBenchCli:
                     str(tmp_path / "missing.json"),
                 ]
             )
+
+
+class TestBaselineHygiene:
+    """PR-5 regressions: dirty BENCH files and degraded baselines."""
+
+    @staticmethod
+    def _git(repo, *args):
+        import subprocess
+
+        return subprocess.run(
+            ["git", *args],
+            cwd=repo,
+            capture_output=True,
+            text=True,
+            check=True,
+            env={
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(repo),
+                "PATH": __import__("os").environ.get("PATH", ""),
+            },
+        )
+
+    def _git_repo(self, tmp_path):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        self._git(repo, "init", "-q")
+        return repo
+
+    def test_untracked_bench_file_is_not_a_baseline(self, tmp_path):
+        repo = self._git_repo(tmp_path)
+        committed = write_report(_report(rev="committed"), repo)
+        self._git(repo, "add", committed.name)
+        self._git(repo, "commit", "-q", "-m", "baseline")
+        # A leftover local run: newer stamp, never committed.
+        dirty = write_report(
+            _report(rev="dirtylocal"), repo
+        )
+        payload = json.loads(dirty.read_text())
+        payload["created"] = "2099-01-01T00:00:00+00:00"
+        dirty.write_text(json.dumps(payload))
+        assert find_baseline(repo) == committed
+
+    def test_modified_committed_bench_file_is_not_a_baseline(self, tmp_path):
+        repo = self._git_repo(tmp_path)
+        first = write_report(_report(rev="first"), repo)
+        second = write_report(_report(rev="second"), repo)
+        self._git(repo, "add", first.name, second.name)
+        self._git(repo, "commit", "-q", "-m", "baselines")
+        # Hand-edit one: it drops out; the clean one wins even if older.
+        payload = json.loads(second.read_text())
+        payload["created"] = "2099-01-01T00:00:00+00:00"
+        second.write_text(json.dumps(payload))
+        assert find_baseline(repo) == first
+
+    def test_all_dirty_means_no_baseline(self, tmp_path):
+        repo = self._git_repo(tmp_path)
+        write_report(_report(rev="only"), repo)
+        assert find_baseline(repo) is None
+
+    def test_outside_git_every_report_is_eligible(self, tmp_path):
+        # tmp_path is no work tree: the historical behaviour stands.
+        newest = write_report(_report(rev="anyone"), tmp_path)
+        assert find_baseline(tmp_path) == newest
+
+    def test_baseline_missing_host_skips_walls_keeps_ratio_gates(
+        self, tmp_path
+    ):
+        # An early-generation baseline without host tagging must load,
+        # refuse wall comparison, and leave ratio gating untouched.
+        path = write_report(_report(rev="old", host="x"), tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["host"]
+        path.write_text(json.dumps(payload))
+        baseline = load_report(path)
+        assert baseline.host == ""
+        current = _report(rev="new")
+        assert not walls_comparable(current, baseline)
+        assert compare_reports(current, baseline) == []
+
+    def test_baseline_missing_results_loads_and_compares_empty(
+        self, tmp_path
+    ):
+        path = tmp_path / "BENCH_bare.json"
+        path.write_text(json.dumps({"schema": 1, "rev": "bare"}))
+        baseline = load_report(path)
+        assert baseline.results == {}
+        assert compare_reports(_report(), baseline) == []
+
+    def test_result_entry_missing_wall_is_dropped_not_fatal(self, tmp_path):
+        path = write_report(
+            _report(rev="mixed", walls={"good": 1.0, "bad": 2.0}), tmp_path
+        )
+        payload = json.loads(path.read_text())
+        del payload["results"]["bad"]["wall_s"]
+        path.write_text(json.dumps(payload))
+        baseline = load_report(path)
+        assert set(baseline.results) == {"good"}
+        regressions = compare_reports(
+            _report(walls={"good": 10.0, "bad": 10.0}), baseline
+        )
+        assert [r.case for r in regressions] == ["good"]
+
+
+class TestWallBudgets:
+    def test_over_budget_case_fails_the_gate(self):
+        report = _report(walls={"scenario-compose-10k": 9.0})
+        failures = failed_gates(report)
+        assert any("acceptance budget" in f for f in failures)
+
+    def test_within_budget_passes(self):
+        report = _report(walls={"scenario-compose-10k": 1.2})
+        assert failed_gates(report) == []
+
+    def test_budget_ignored_when_case_absent(self):
+        assert failed_gates(_report(walls={"case-a": 100.0})) == []
+
+    def test_run_suite_records_budget_headroom_in_checks(self, monkeypatch):
+        from repro.perf import suite as perf_suite
+
+        def fake_cases(_suite):
+            return [
+                BenchCase(
+                    name="scenario-compose-10k",
+                    summary="fake",
+                    setup=lambda: None,
+                    run=lambda _s: {"nodes": 1.0},
+                    repeats=1,
+                )
+            ]
+
+        monkeypatch.setattr(perf_bench, "bench_cases", fake_cases)
+        report = perf_bench.run_suite("full")
+        assert "scenario-10k-build-budget" in report.checks
+        assert report.checks["scenario-10k-build-budget"] == pytest.approx(
+            report.results["scenario-compose-10k"].wall_s
+        )
