@@ -22,8 +22,9 @@ Run:  python examples/beyond_the_grid.py
 
 import os
 
+from repro import ScenarioConfig, run_replicated
 from repro.channel.propagation import PropagationSpec
-from repro.models.scenario import RadioAssignment, ScenarioConfig, run_replicated
+from repro.models import RadioAssignment
 from repro.runner import runner_from_env
 from repro.topology.registry import TopologySpec
 

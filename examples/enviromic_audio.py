@@ -15,7 +15,7 @@ the minutes/hours of the slow-monitoring case.
 Run:  python examples/enviromic_audio.py
 """
 
-from repro.models import ScenarioConfig, run_scenario
+from repro import ScenarioConfig, run_scenario
 
 SIM_TIME_S = 900.0
 

@@ -14,7 +14,7 @@ Run:  python examples/environmental_monitoring.py
 """
 
 from repro.energy import Battery
-from repro.models import ScenarioConfig, run_scenario
+from repro import ScenarioConfig, run_scenario
 
 SIM_TIME_S = 2400.0
 N_SENDERS = 12

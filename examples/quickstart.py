@@ -9,6 +9,7 @@
 Run:  python examples/quickstart.py
 """
 
+from repro import ScenarioConfig, run_scenario
 from repro.energy import (
     LUCENT_11,
     MICAZ,
@@ -17,7 +18,6 @@ from repro.energy import (
     energy_high,
     energy_low,
 )
-from repro.models import ScenarioConfig, run_scenario
 from repro.units import bits_to_kb, j_to_mj, kb_to_bits
 
 

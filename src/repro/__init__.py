@@ -58,6 +58,8 @@ from repro.models.scenario import (
     run_scenario,
     single_hop_config,
 )
+from repro.sim.events import Event, Timeout
+from repro.sim.scheduler import CalendarScheduler, HeapScheduler, Scheduler
 from repro.sim.simulator import Simulator
 from repro.stats.metrics import RunResult
 from repro.testbed.experiment import (
@@ -72,7 +74,10 @@ __all__ = [
     "BcpAgent",
     "BcpConfig",
     "CABLETRON",
+    "CalendarScheduler",
     "DualRadioLink",
+    "Event",
+    "HeapScheduler",
     "LUCENT_11",
     "LUCENT_2",
     "MICA",
@@ -82,8 +87,10 @@ __all__ = [
     "RadioSpec",
     "RunResult",
     "ScenarioConfig",
+    "Scheduler",
     "Simulator",
     "TABLE_1",
+    "Timeout",
     "__version__",
     "breakeven_bits",
     "breakeven_bits_multihop",

@@ -762,6 +762,15 @@ def _run_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--scheduler",
+        choices=("heap", "calendar"),
+        default="heap",
+        help=(
+            "simulator agenda backend: heap (default) or calendar, which "
+            "batches same-timestamp timers; results are byte-identical"
+        ),
+    )
+    parser.add_argument(
         "--traffic-mix",
         type=str,
         default=None,
@@ -874,6 +883,7 @@ def _run_config(args: argparse.Namespace) -> ScenarioConfig:
             traffic=args.traffic,
             high_radios=high_radios,
             routing=args.routing,
+            scheduler=args.scheduler,
         )
         if args.traffic_mix is not None:
             changes["traffic_mix"] = _parse_pairs(args.traffic_mix, "--traffic-mix")

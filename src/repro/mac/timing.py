@@ -17,6 +17,14 @@ window, mirroring 802.15.4's backoff-exponent increment) when the channel
 is found busy, instead of 802.11's freeze-and-resume.  This slightly
 changes access-delay distribution under contention but preserves the
 collision-avoidance behaviour the evaluation depends on.
+
+These presets are also why the kernel's calendar scheduler pays off:
+every timing constant here is a multiple of a small base unit (20 µs
+802.11 slots, 320 µs CC2420 backoff periods), so contending nodes land
+their timers on a handful of *exact* shared timestamps per slot
+boundary.  ``CalendarScheduler`` buckets by exact timestamp and
+dispatches each such batch with a single heap pop (see
+:mod:`repro.sim.scheduler`).
 """
 
 from __future__ import annotations

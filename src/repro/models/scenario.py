@@ -90,6 +90,7 @@ from repro.radio.radio import (
     HighPowerRadio,
     LowPowerRadio,
 )
+from repro.sim.scheduler import SCHEDULER_MODES
 from repro.sim.simulator import Simulator
 from repro.stats.collector import SinkCollector
 from repro.stats.metrics import (
@@ -231,6 +232,13 @@ class ScenarioConfig:
     #: the engines' seeded tie-break schemes differ (see
     #: :mod:`repro.net.routing`).
     routing: str = "auto"
+    #: Simulator agenda backend (:data:`repro.sim.scheduler.SCHEDULER_MODES`):
+    #: ``"heap"`` is the historical default, ``"calendar"`` batches
+    #: same-timestamp timers (faster on slot-aligned MAC workloads).  Both
+    #: produce byte-identical results — the choice is performance-only —
+    #: but it is still part of the cached identity so a cache hit records
+    #: which backend produced it.
+    scheduler: str = "heap"
 
     def __post_init__(self) -> None:
         if self.model not in (MODEL_SENSOR, MODEL_WIFI, MODEL_DUAL):
@@ -239,6 +247,11 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown routing engine {self.routing!r}; "
                 f"expected one of {ROUTING_MODES}"
+            )
+        if self.scheduler not in SCHEDULER_MODES:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"expected one of {SCHEDULER_MODES}"
             )
         if self.topology is not None and self.topology.kind not in TOPOLOGIES:
             raise ValueError(
@@ -792,7 +805,7 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
     the run reports ``network_build`` (which includes ``routing_build``)
     and ``sim_loop`` wall-clock phases into it.
     """
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, scheduler=config.scheduler)
     with phase("network_build"):
         built = build_network(config, sim)
     with phase("sim_loop"):

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import datetime
+import gc
 import json
 import pathlib
 import platform
@@ -27,7 +28,13 @@ import sys
 import time
 import typing
 
-from repro.perf.suite import BenchCase, bench_cases, ratio_gates, wall_budgets
+from repro.perf.suite import (
+    BenchCase,
+    bench_cases,
+    ratio_gates,
+    throughput_gates,
+    wall_budgets,
+)
 
 #: Format version of the BENCH json files.
 BENCH_SCHEMA = 1
@@ -133,6 +140,10 @@ def run_case(case: BenchCase, repeats: int | None = None) -> CaseResult:
     best = float("inf")
     ops: dict[str, float] = {}
     for _ in range(rounds):
+        # Start each round from a settled heap: without this, garbage
+        # surviving from *earlier cases* inflates this case's collector
+        # pauses, coupling measurements that should be independent.
+        gc.collect()
         start = time.perf_counter()
         ops = dict(case.run(state))
         elapsed = time.perf_counter() - start
@@ -173,6 +184,20 @@ def run_suite(
             for budget in wall_budgets(results)
         }
     )
+    # Throughput checks record the achieved rate (ops/s) for the same
+    # reason; a case missing its ops key records 0.0 — failing loudly at
+    # the gate rather than silently dropping the check.
+    checks.update(
+        {
+            gate.name: (
+                results[gate.case].ops.get(gate.ops_key, 0.0)
+                / results[gate.case].wall_s
+                if results[gate.case].wall_s > 0
+                else 0.0
+            )
+            for gate in throughput_gates(results)
+        }
+    )
     return BenchReport(
         rev=rev or git_rev(),
         suite=suite,
@@ -202,6 +227,19 @@ def failed_gates(report: BenchReport) -> list[str]:
             failures.append(
                 f"{budget.name}: {budget.case} took {wall:.2f}s, over the "
                 f"{budget.max_wall_s:g}s acceptance budget"
+            )
+    for gate in throughput_gates(report.results):
+        result = report.results[gate.case]
+        rate = (
+            result.ops.get(gate.ops_key, 0.0) / result.wall_s
+            if result.wall_s > 0
+            else 0.0
+        )
+        if rate < gate.min_per_s:
+            failures.append(
+                f"{gate.name}: {gate.case} sustained "
+                f"{rate / 1e6:.2f}M {gate.ops_key}/s, below the required "
+                f"{gate.min_per_s / 1e6:g}M/s floor"
             )
     return failures
 

@@ -31,7 +31,10 @@ import typing
 #: retired wholesale rather than left as unreachable dead weight.
 #: v4: ScenarioConfig grew the ``routing`` engine selector (auto / eager
 #: / lazy); pre-selector keys are retired wholesale.
-CACHE_SCHEMA_VERSION = 4
+#: v5: ScenarioConfig grew the ``scheduler`` agenda selector (heap /
+#: calendar).  Results are byte-identical across backends, but the field
+#: is part of the canonicalized config, so pre-field keys are retired.
+CACHE_SCHEMA_VERSION = 5
 
 
 def _canonicalize(value: typing.Any) -> typing.Any:

@@ -5,6 +5,8 @@ paper evaluated BCP in an (unnamed) network simulator; since no off-line DES
 library is available here, the kernel is implemented from scratch:
 
 * :class:`Simulator` — clock, agenda, run loop.
+* :class:`Scheduler` protocol with :class:`HeapScheduler` /
+  :class:`CalendarScheduler` — pluggable agenda backends.
 * :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf` — the
   waitable primitives.
 * :class:`Process` — generator-based active entities.
@@ -23,25 +25,37 @@ from repro.sim.errors import (
     SimulationError,
     StopSimulation,
 )
-from repro.sim.events import AllOf, AnyOf, Condition, Event, Timeout
+from repro.sim.events import NORMAL, URGENT, AllOf, AnyOf, Condition, Event, Timeout
 from repro.sim.monitor import Counter, Probe, ProbeSet
 from repro.sim.process import Process
 from repro.sim.resources import Store, StoreGet, StorePut
 from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.scheduler import (
+    SCHEDULERS,
+    CalendarScheduler,
+    HeapScheduler,
+    Scheduler,
+    build_scheduler,
+)
 from repro.sim.simulator import Simulator
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarScheduler",
     "Condition",
     "Counter",
     "Event",
     "EventAlreadyTriggered",
+    "HeapScheduler",
     "Interrupt",
+    "NORMAL",
     "Probe",
     "ProbeSet",
     "Process",
     "RngRegistry",
+    "SCHEDULERS",
+    "Scheduler",
     "SimulationError",
     "Simulator",
     "StopSimulation",
@@ -49,5 +63,7 @@ __all__ = [
     "StoreGet",
     "StorePut",
     "Timeout",
+    "URGENT",
+    "build_scheduler",
     "derive_seed",
 ]

@@ -46,7 +46,15 @@ class Event:
     :class:`~repro.sim.errors.EventAlreadyTriggered`.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "_defused")
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_processed",
+        "_defused",
+        "_cancelled",
+    )
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -56,6 +64,7 @@ class Event:
         self._ok: bool = True
         self._processed = False
         self._defused = False
+        self._cancelled = False
 
     # -- state inspection ------------------------------------------------
 
@@ -113,6 +122,32 @@ class Event:
         """Mark a failed event as handled so the kernel will not re-raise it."""
         self._defused = True
 
+    def cancel(self) -> bool:
+        """Abandon the event: the kernel discards it instead of dispatching.
+
+        Marks the event dead *in place* — the agenda is never searched.
+        When the entry's time comes up the scheduler still pops it, but
+        the kernel drops it undelivered: callbacks never run, the event
+        never becomes *processed*, and it counts in
+        ``Simulator.events_cancelled`` rather than ``events_processed``.
+        This is how model code walks away from a wait it no longer needs
+        (a MAC's ack-wait timeout after the ack arrived) without leaving
+        dead events for the loop to dispatch.
+
+        A no-op after the event has been processed (callbacks already
+        ran; there is nothing left to suppress).  Returns whether the
+        cancellation took effect.
+        """
+        if self._processed:
+            return False
+        self._cancelled = True
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` marked this event dead before dispatch."""
+        return self._cancelled
+
     # -- composition -----------------------------------------------------
 
     def __or__(self, other: "Event") -> "AnyOf":
@@ -141,17 +176,21 @@ class Timeout(Event):
 
     def __init__(self, sim: "Simulator", delay: float, value: object = None):
         if delay < 0:
-            raise ValueError(f"negative delay {delay!r}")
+            # Same exception as Simulator._enqueue: a negative delay is a
+            # scheduling error wherever it is caught.
+            raise SimulationError(f"negative delay {delay!r}")
         # Field init is inlined (rather than chaining through
         # Event.__init__) deliberately: timeouts are the kernel's hottest
         # allocation — one per MAC wait, backoff and frame — and the
-        # super() call was measurable.  Keep in sync with Event.__init__.
+        # super() call was measurable.  Keep in sync with Event.__init__
+        # and with the pooled fast path in Simulator.timeout().
         self.sim = sim
         self.callbacks = []
         self._value = value
         self._ok = True
         self._processed = False
         self._defused = False
+        self._cancelled = False
         self.delay = delay
         sim._enqueue(self, delay=delay, priority=NORMAL)
 

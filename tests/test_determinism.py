@@ -104,6 +104,30 @@ class TestGoldenDigest:
             == GOLDEN_COMPOSED_DIGEST
         )
 
+    def test_composed_scenario_calendar_scheduler_matches_pinned_digest(self):
+        # The agenda backend is performance-only: the calendar scheduler
+        # must reproduce the SAME pinned bytes as the heap default.
+        import dataclasses
+
+        config = dataclasses.replace(composed_config(), scheduler="calendar")
+        assert (
+            results_digest([run_scenario(config)]) == GOLDEN_COMPOSED_DIGEST
+        )
+
+    def test_schedulers_byte_identical_on_paper_grid_cell(self):
+        import dataclasses
+
+        from repro.models.scenario import single_hop_config
+
+        config = single_hop_config(
+            n_senders=3, burst_packets=10, rate_bps=2000.0, sim_time_s=10.0
+        )
+        heap = run_scenario(config)
+        calendar = run_scenario(
+            dataclasses.replace(config, scheduler="calendar")
+        )
+        assert results_digest([calendar]) == results_digest([heap])
+
     def test_digest_is_sensitive_to_results(self):
         sweep = golden_sweep(SweepRunner(backend=SerialBackend()))
         baseline = sweep_digest(sweep)

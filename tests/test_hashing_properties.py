@@ -115,6 +115,7 @@ class TestScenarioFieldSensitivity:
         "high_radios": RadioAssignment(overrides=((0, "Cabletron"),)),
         "traffic_mix": ((1, "poisson"),),
         "routing": "lazy",
+        "scheduler": "calendar",
     }
 
     @staticmethod

@@ -87,8 +87,17 @@ class TestTimeout:
         assert sim.now == 0.0
 
     def test_negative_delay_rejected(self, sim):
-        with pytest.raises(ValueError):
+        # Normalized: every scheduling entry point rejects a negative
+        # delay with SimulationError (Timeout used to raise ValueError
+        # while Simulator._enqueue raised SimulationError).
+        with pytest.raises(SimulationError):
             sim.timeout(-0.1)
+
+    def test_negative_delay_rejected_direct_construction(self, sim):
+        from repro.sim import Timeout
+
+        with pytest.raises(SimulationError):
+            Timeout(sim, -0.1)
 
     def test_cannot_trigger_manually(self, sim):
         timeout = sim.timeout(1)

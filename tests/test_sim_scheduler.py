@@ -1,0 +1,281 @@
+"""Scheduler protocol conformance, cancellation, and the timeout free-list."""
+
+import pytest
+
+from repro.sim import (
+    NORMAL,
+    URGENT,
+    CalendarScheduler,
+    HeapScheduler,
+    Simulator,
+    build_scheduler,
+)
+from repro.sim.scheduler import SCHEDULER_MODES, SCHEDULERS
+
+
+class _FakeEvent:
+    """A stand-in payload: schedulers must treat events as opaque."""
+
+    def __init__(self, label):
+        self.label = label
+
+    def __repr__(self):
+        return f"<fake {self.label}>"
+
+
+@pytest.fixture(params=["heap", "calendar"])
+def scheduler(request):
+    return SCHEDULERS[request.param]()
+
+
+class TestProtocolConformance:
+    """Both backends must present the exact same ordering semantics."""
+
+    def test_pop_orders_by_time(self, scheduler):
+        for when in (5.0, 1.0, 3.0):
+            scheduler.push(when, NORMAL, _FakeEvent(when))
+        assert [scheduler.pop()[0] for _ in range(3)] == [1.0, 3.0, 5.0]
+
+    def test_fifo_within_time_and_priority(self, scheduler):
+        events = [_FakeEvent(index) for index in range(4)]
+        for event in events:
+            scheduler.push(2.0, NORMAL, event)
+        assert [scheduler.pop()[1] for _ in range(4)] == events
+
+    def test_urgent_pops_before_normal_at_same_time(self, scheduler):
+        normal = _FakeEvent("normal")
+        urgent = _FakeEvent("urgent")
+        # The urgent entry arrives AFTER the normal one: priority must
+        # still beat insertion order, exactly as heap (time, prio, seq)
+        # tuples order it.
+        scheduler.push(1.0, NORMAL, normal)
+        scheduler.push(1.0, URGENT, urgent)
+        assert scheduler.pop()[1] is urgent
+        assert scheduler.pop()[1] is normal
+
+    def test_earlier_time_beats_priority(self, scheduler):
+        late_urgent = _FakeEvent("late")
+        early_normal = _FakeEvent("early")
+        scheduler.push(2.0, URGENT, late_urgent)
+        scheduler.push(1.0, NORMAL, early_normal)
+        assert scheduler.pop()[1] is early_normal
+
+    def test_pop_empty_raises_indexerror(self, scheduler):
+        with pytest.raises(IndexError):
+            scheduler.pop()
+
+    def test_peek_empty_is_infinity(self, scheduler):
+        assert scheduler.peek() == float("inf")
+
+    def test_peek_reports_next_time_without_consuming(self, scheduler):
+        scheduler.push(4.0, NORMAL, _FakeEvent("a"))
+        assert scheduler.peek() == 4.0
+        assert len(scheduler) == 1
+
+    def test_len_counts_entries(self, scheduler):
+        for index in range(5):
+            scheduler.push(float(index % 2), NORMAL, _FakeEvent(index))
+        assert len(scheduler) == 5
+        scheduler.pop()
+        assert len(scheduler) == 4
+
+    def test_interleaved_push_pop(self, scheduler):
+        scheduler.push(1.0, NORMAL, _FakeEvent("a"))
+        assert scheduler.pop()[1].label == "a"
+        # A push at the just-drained time must still be retrievable
+        # (calendar buckets are retired and recreated exactly here).
+        scheduler.push(1.0, NORMAL, _FakeEvent("b"))
+        scheduler.push(0.5, NORMAL, _FakeEvent("c"))
+        assert scheduler.pop()[1].label == "c"
+        assert scheduler.pop()[1].label == "b"
+        assert len(scheduler) == 0
+
+
+class TestCalendarBucketRetirement:
+    """The calendar's drained-bucket cleanup must not strand the memo."""
+
+    def test_peek_retires_drained_buckets(self):
+        scheduler = CalendarScheduler()
+        scheduler.push(1.0, NORMAL, _FakeEvent("a"))
+        scheduler.pop()
+        scheduler.push(2.0, NORMAL, _FakeEvent("b"))
+        # The 1.0 bucket is empty; peek must skip past its carcass.
+        assert scheduler.peek() == 2.0
+        assert len(scheduler) == 1
+
+    def test_push_after_bucket_retired_by_pop(self):
+        scheduler = CalendarScheduler()
+        scheduler.push(1.0, NORMAL, _FakeEvent("a"))
+        scheduler.push(1.0, NORMAL, _FakeEvent("b"))
+        assert scheduler.pop()[1].label == "a"
+        assert scheduler.pop()[1].label == "b"
+        with pytest.raises(IndexError):
+            scheduler.pop()
+        # The memo pointed at the now-dead 1.0 bucket; a fresh push at
+        # the same time must land in a live bucket, not the orphan.
+        scheduler.push(1.0, NORMAL, _FakeEvent("c"))
+        assert scheduler.pop()[1].label == "c"
+
+
+class TestBuildScheduler:
+    def test_default_is_heap(self):
+        assert isinstance(build_scheduler(), HeapScheduler)
+        assert isinstance(build_scheduler(None), HeapScheduler)
+
+    def test_registry_names(self):
+        assert isinstance(build_scheduler("heap"), HeapScheduler)
+        assert isinstance(build_scheduler("calendar"), CalendarScheduler)
+        assert SCHEDULER_MODES == ("heap", "calendar")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            build_scheduler("splay-tree")
+
+    def test_instance_passes_through(self):
+        backend = CalendarScheduler()
+        assert build_scheduler(backend) is backend
+
+    def test_non_scheduler_object_raises(self):
+        with pytest.raises(TypeError, match="Scheduler protocol"):
+            build_scheduler(object())
+
+
+class _RecordingScheduler(HeapScheduler):
+    """A bring-your-own backend: drives the generic (protocol-only) loop."""
+
+    def __init__(self):
+        super().__init__()
+        self.pushes = 0
+
+    def push(self, when, priority, event):
+        self.pushes += 1
+        super().push(when, priority, event)
+
+
+class TestCustomScheduler:
+    def test_simulator_runs_on_custom_backend(self):
+        backend = _RecordingScheduler()
+        sim = Simulator(seed=1, scheduler=backend)
+        assert sim.scheduler is backend
+        fired = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            fired.append(sim.now)
+            yield sim.timeout(2.0)
+            fired.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert fired == [1.0, 3.0]
+        assert backend.pushes > 0
+
+    def test_custom_backend_honors_horizon(self):
+        sim = Simulator(seed=1, scheduler=_RecordingScheduler())
+        fired = []
+        sim.call_later(1.0, lambda: fired.append(1))
+        sim.call_later(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+
+@pytest.fixture(params=["heap", "calendar"])
+def sim(request):
+    return Simulator(seed=1, scheduler=request.param)
+
+
+class TestCancellation:
+    def test_cancelled_timer_never_fires(self, sim):
+        fired = []
+        timeout = sim.timeout(1.0)
+        timeout.callbacks.append(lambda _e: fired.append("t"))
+        assert timeout.cancel() is True
+        assert timeout.cancelled
+        sim.run()
+        assert fired == []
+        assert not timeout.processed
+
+    def test_cancelled_events_counted_separately(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0).cancel()
+        sim.run()
+        assert sim.events_processed == 1
+        assert sim.events_cancelled == 1
+
+    def test_clock_never_advances_to_cancelled_only_time(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(5.0).cancel()
+        sim.run()
+        assert sim.now == 1.0
+
+    def test_cancel_after_processed_is_a_noop(self, sim):
+        timeout = sim.timeout(1.0)
+        sim.run()
+        assert timeout.cancel() is False
+        assert not timeout.cancelled
+
+    def test_cancel_mid_run_from_a_callback(self, sim):
+        doomed = sim.timeout(2.0)
+        fired = []
+        doomed.callbacks.append(lambda _e: fired.append("doomed"))
+        sim.call_later(1.0, doomed.cancel)
+        sim.run()
+        assert fired == []
+        assert sim.events_cancelled == 1
+
+    def test_run_until_event_skips_cancelled(self, sim):
+        sim.timeout(1.0).cancel()
+        target = sim.timeout(2.0, value="done")
+        assert sim.run(until=target) == "done"
+        assert sim.events_cancelled == 1
+
+    def test_step_skips_cancelled(self, sim):
+        sim.timeout(1.0).cancel()
+        sim.timeout(2.0)
+        sim.step()
+        assert sim.now == 2.0
+        assert sim.events_cancelled == 1
+
+
+class TestTimeoutFreeList:
+    def test_processed_timeout_is_recycled(self, sim):
+        first = sim.timeout(1.0, value="a")
+        sim.run()
+        assert first.processed
+        second = sim.timeout(1.0, value="b")
+        # The kernel proved `first` unreferenced-by-the-model at pop time
+        # is false here (we hold it) — so recycling must NOT have reused
+        # it. Drop our reference pattern instead: timers created and
+        # consumed entirely inside the loop are the recycled population.
+        assert second is not first
+
+    def test_unreferenced_timers_are_reused(self, sim):
+        def proc():
+            for _ in range(3):
+                yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        before = sim.events_processed
+        # The free-list is warm; a fresh timeout comes from the pool with
+        # fully reset state.
+        fresh = sim.timeout(2.0, value="fresh")
+        assert fresh.callbacks == []
+        assert not fresh.processed
+        assert not fresh.cancelled
+        sim.run()
+        assert fresh.value == "fresh"
+        assert sim.events_processed == before + 1
+
+    def test_recycled_timer_value_not_leaked(self, sim):
+        def proc(values):
+            value = yield sim.timeout(1.0, value="secret")
+            values.append(value)
+            value = yield sim.timeout(1.0)
+            values.append(value)
+
+        values = []
+        sim.process(proc(values))
+        sim.run()
+        assert values == ["secret", None]

@@ -5,9 +5,11 @@ import pytest
 from repro.sim import SimulationError, Simulator, StopSimulation
 
 
-@pytest.fixture
-def sim():
-    return Simulator(seed=1)
+# Every clock/agenda/run-mode contract must hold identically on both
+# agenda backends; the scheduler choice is performance-only.
+@pytest.fixture(params=["heap", "calendar"])
+def sim(request):
+    return Simulator(seed=1, scheduler=request.param)
 
 
 class TestClockAndAgenda:
@@ -80,6 +82,16 @@ class TestRunModes:
         sim.call_later(1.0, lambda: event.fail(RuntimeError("failed")))
         with pytest.raises(RuntimeError, match="failed"):
             sim.run(until=event)
+
+    def test_run_until_failed_event_is_defused(self, sim):
+        # Raising through run(until=event) counts as delivering the
+        # failure to the caller: the event must come out defused, or the
+        # next run() would re-raise it as unhandled.
+        event = sim.event()
+        sim.call_later(1.0, lambda: event.fail(RuntimeError("failed")))
+        with pytest.raises(RuntimeError, match="failed"):
+            sim.run(until=event)
+        sim.run()  # no re-raise
 
     def test_stop_simulation_halts_run(self, sim):
         def bomb():
