@@ -9,8 +9,13 @@ k candidates per cell neighborhood instead of O(n²) — and serves
 
 * :meth:`neighbors` — the audible set as a cached tuple, ordered by port
   registration order (byte-compatible with the historical scan, which
-  iterated the registration dict); and
-* :meth:`is_neighbor` — O(1) membership via per-node frozensets.
+  iterated the registration dict);
+* :meth:`is_neighbor` — O(1) membership via per-node frozensets; and
+* the batch-delivery arrays the medium's hot path iterates:
+  :meth:`neighbor_ranks` (each audible set as dense registration-order
+  ranks) plus :attr:`ports_by_rank` (rank → port object), so one frame's
+  delivery is a single pass over int tuples and list indexing with no
+  per-receiver dict hops.
 
 The index is invalidation-free by construction: it is built lazily after
 the last :meth:`Medium.register` call and the inputs (layout positions,
@@ -74,7 +79,11 @@ class NeighborIndex:
                 (math.floor(pos.x / cell), math.floor(pos.y / cell)), []
             ).append(node)
 
+        #: Rank (registration order) → port object, the medium's hot-path
+        #: companion to the per-node rank tuples below.
+        self.ports_by_rank: list["RadioPort"] = list(ports.values())
         self._neighbors: dict[int, tuple[int, ...]] = {}
+        self._neighbor_ranks: dict[int, tuple[int, ...]] = {}
         self._members: dict[int, frozenset[int]] = {}
         for node, port in ports.items():
             pos = layout.position(node)
@@ -94,12 +103,21 @@ class NeighborIndex:
                             found.append(other)
             found.sort(key=order.__getitem__)
             self._neighbors[node] = tuple(found)
+            self._neighbor_ranks[node] = tuple(order[i] for i in found)
             self._members[node] = frozenset(found)
 
     def neighbors(self, node_id: int) -> tuple[int, ...]:
         """Audible nodes for ``node_id``, in registration order."""
         return self._neighbors[node_id]
 
+    def neighbor_ranks(self, node_id: int) -> tuple[int, ...]:
+        """Audible nodes as :attr:`ports_by_rank` ranks (ascending, which
+        is registration order — the same order :meth:`neighbors` uses)."""
+        return self._neighbor_ranks[node_id]
+
     def is_neighbor(self, sender_id: int, listener_id: int) -> bool:
         """Whether ``listener_id`` can hear ``sender_id`` (O(1))."""
         return listener_id in self._members[sender_id]
+
+    def __len__(self) -> int:
+        return len(self.ports_by_rank)

@@ -13,10 +13,14 @@ Model
   optionally a per-frame decode roll) while the medium keeps timing,
   collisions and energy accounting.  Frames take ``total_bits / rate``
   seconds on the air.
-* **Collisions** — receiver-centric: a unicast reception fails if another
+* **Collisions** — receiver-centric: a reception fails if another
   transmission audible at the receiver overlaps it in time (including the
   receiver's own transmissions — radios are half-duplex).  This models the
-  hidden-terminal losses that carrier sensing cannot prevent.
+  hidden-terminal losses that carrier sensing cannot prevent.  Broadcast
+  frames are checked per receiver: each overlapping transmission is
+  recorded while the broadcast is on the air, and at end-of-frame every
+  audible listener independently applies the same overlap/capture test a
+  unicast receiver would.
 * **Capture** — an overlapping transmission only corrupts the frame when
   the interferer is not markedly weaker than the wanted signal.  With
   distance-based power (path loss exponent ~3.5) an interferer at
@@ -35,12 +39,28 @@ Model
 Performance
 -----------
 The medium never schedules per-neighbour events: one start and one end
-event per transmission, with set arithmetic over the (small) set of
-concurrently active transmissions.  Audible sets come from a
+event per transmission.  Audible sets come from a
 :class:`~repro.channel.index.NeighborIndex` built once after registration
-(layouts are immutable, so the index never invalidates mid-run): neighbor
-lists are cached tuples and reachability/carrier-sense membership checks
-are O(1), replacing the historical per-node O(n) scans.
+(layouts are immutable, so the index never invalidates mid-run), and both
+hot paths are batched over its registration-order rank arrays:
+
+* **Carrier sense is an O(1) read.**  ``transmit`` increments and
+  ``_finish`` decrements a per-port busy refcount over the sender's
+  audible ranks, so :meth:`is_busy_for` indexes one array cell instead of
+  scanning the active-transmission list per query.
+* **Delivery is one batched pass.**  :meth:`_finish` walks the sender's
+  cached neighbor-rank tuple with every lookup hoisted: listening states
+  come from a flat per-rank array that radios keep current through
+  :meth:`note_state` at their (rare) state transitions, and receiver-side
+  energy for a homogeneous fleet metered by one
+  :class:`~repro.energy.meter.MeterBank` is charged through a single
+  column batch op
+  (:meth:`~repro.energy.meter.MeterBank.charge_reception_fanout`) whose
+  per-frame charge plan is computed once instead of re-derived per
+  receiver.  The batch op replays per-node charge order exactly, so
+  golden digests are unchanged; heterogeneous port stacks (mixed radio
+  classes, specs or meters) fall back to the historical per-port loop
+  with identical behaviour.
 """
 
 from __future__ import annotations
@@ -65,12 +85,19 @@ class LossModel:
     probability:
         Chance that an otherwise successful frame is lost (0 disables).
     rng:
-        Random stream used for loss draws.
+        Random stream used for loss draws.  Required whenever
+        ``probability`` is nonzero — validated here so a missing stream
+        fails at construction rather than as an ``AttributeError`` on the
+        first mid-run draw.
     """
 
     def __init__(self, probability: float = 0.0, rng: typing.Any = None):
         if not 0.0 <= probability < 1.0:
             raise ValueError(f"loss probability must be in [0, 1), got {probability}")
+        if probability > 0.0 and rng is None:
+            raise ValueError(
+                f"a loss probability of {probability} requires an rng"
+            )
         self.probability = probability
         self._rng = rng
 
@@ -97,6 +124,9 @@ class Transmission:
         "end_s",
         "corrupted",
         "receiver_listening",
+        "busy_ranks",
+        "interferers",
+        "deaf_ranks",
     )
 
     def __init__(
@@ -113,10 +143,21 @@ class Transmission:
         self.frame = frame
         self.start_s = start_s
         self.end_s = end_s
-        #: Set when another audible transmission overlapped at the receiver.
+        #: Set when another audible transmission overlapped at the receiver
+        #: (unicast frames only; broadcasts track interferers per receiver).
         self.corrupted = False
         #: Whether the addressed receiver could hear when the frame started.
         self.receiver_listening = receiver_listening
+        #: Neighbor ranks whose busy refcount this record incremented
+        #: (the index's shared tuple — no per-frame allocation).
+        self.busy_ranks: tuple[int, ...] = ()
+        #: Broadcast only: sender ports of every transmission that
+        #: overlapped this one, checked per receiver at end-of-frame.
+        self.interferers: list["RadioPort"] | None = None
+        #: Broadcast only: audible ranks that were not listening at frame
+        #: start (they missed the preamble and cannot sync, mirroring the
+        #: unicast ``receiver_listening`` snapshot); None when all heard it.
+        self.deaf_ranks: frozenset[int] | None = None
 
     def __call__(self, _event: typing.Any) -> None:
         self.medium._finish(self)
@@ -172,7 +213,20 @@ class Medium:
         self._ports: dict[int, "RadioPort"] = {}
         self._active: list[Transmission] = []
         #: Precomputed audible sets; built lazily after the last register.
+        #: The three per-rank arrays below share its lifetime: they are
+        #: rebuilt with it and invalidated with it, so ``_index is not
+        #: None`` implies all of them are populated.
         self._index: NeighborIndex | None = None
+        #: Per-rank count of active transmissions audible at that port
+        #: (including its own) — the O(1) carrier-sense read.
+        self._busy: list[int] | None = None
+        #: Per-rank ``is_listening`` mirror, updated by :meth:`note_state`.
+        self._listening: list[bool] | None = None
+        #: ``(bank, bank_row_by_rank)`` when the fleet is homogeneous
+        #: enough for batched energy fanout; None forces the generic loop.
+        self._fanout: tuple[typing.Any, list[int]] | None = None
+        #: False lets delivery skip the per-listener promiscuous scan.
+        self._any_promiscuous = False
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_collided = 0
@@ -190,6 +244,9 @@ class Medium:
             raise ValueError(f"node {port.node_id} is not in the layout")
         self._ports[port.node_id] = port
         self._index = None
+        self._busy = None
+        self._listening = None
+        self._fanout = None
 
     def port(self, node_id: int) -> "RadioPort":
         """The radio port registered for ``node_id``."""
@@ -198,8 +255,58 @@ class Medium:
     def _neighbor_index(self) -> NeighborIndex:
         index = self._index
         if index is None:
-            index = NeighborIndex(self.layout, self._ports, self.propagation)
-            self._index = index
+            index = self._build_index()
+        return index
+
+    def _build_index(self) -> NeighborIndex:
+        """Build the neighbor index and the per-rank arrays tied to it."""
+        # Runtime import: the radio module only needs the medium for type
+        # checking, so importing it here cannot cycle.
+        from repro.energy.meter import NodeMeter
+        from repro.radio.radio import HighPowerRadio, LowPowerRadio, RadioPort
+
+        index = NeighborIndex(self.layout, self._ports, self.propagation)
+        ports = index.ports_by_rank
+        for rank, port in enumerate(ports):
+            port._medium_rank = rank
+        self._listening = [port.is_listening for port in ports]
+        # Busy refcounts replay the increments of whatever is still on the
+        # air (registration mid-flight rebuilds audibility, so each active
+        # record's rank tuple is refreshed alongside).
+        busy = [0] * len(ports)
+        for record in self._active:
+            ranks = index.neighbor_ranks(record.sender.node_id)
+            record.busy_ranks = ranks
+            busy[record.sender._medium_rank] += 1
+            for rank in ranks:
+                busy[rank] += 1
+        self._busy = busy
+        self._any_promiscuous = any(port.promiscuous for port in ports)
+        # Batched energy fanout needs one charge plan to fit every
+        # receiver: identical concrete radio class (exact — subclasses may
+        # override accounting), shared spec and component, and all meters
+        # rows of one MeterBank.  The scenario builder's fleets qualify;
+        # anything else takes the per-port loop.
+        self._fanout = None
+        if ports:
+            first = ports[0]
+            cls = type(first)
+            if (
+                cls in (LowPowerRadio, HighPowerRadio)
+                and cls.charge_reception is RadioPort.charge_reception
+                and all(
+                    type(port) is cls
+                    and port.spec is first.spec
+                    and port.component == first.component
+                    and type(port.meter) is NodeMeter
+                    and port.meter.bank is first.meter.bank
+                    for port in ports
+                )
+            ):
+                rows = [port.meter.index for port in ports]
+                if len(set(rows)) == len(rows):
+                    self._fanout = (first.meter.bank, rows)
+        self._index = index
         return index
 
     def neighbors(self, node_id: int) -> tuple[int, ...]:
@@ -212,6 +319,23 @@ class Medium:
         """Whether ``listener_id`` can hear ``sender_id`` (O(1) lookup)."""
         return self._neighbor_index().is_neighbor(sender_id, listener_id)
 
+    # -- port state notifications ------------------------------------------
+
+    def note_state(self, port: "RadioPort") -> None:
+        """Mirror ``port.is_listening`` into the per-rank array.
+
+        Radios call this at every listening-state transition (transmit
+        start/end, wake completion, sleep), which is what lets delivery
+        read a flat array instead of calling n properties per frame.
+        """
+        listening = self._listening
+        if listening is not None:
+            listening[port._medium_rank] = port.is_listening
+
+    def note_promiscuous(self, port: "RadioPort") -> None:
+        """Record that at least one port wants overheard frames."""
+        self._any_promiscuous = True
+
     # -- carrier sensing -----------------------------------------------------
 
     def is_busy_for(self, node_id: int) -> bool:
@@ -219,16 +343,14 @@ class Medium:
 
         True if any active transmission is audible at the listener's
         position (energy detection), or the listener is itself sending.
+        O(1): reads the busy refcount ``transmit``/``_finish`` maintain.
         """
-        active = self._active
-        if not active:
+        if not self._active:
             return False
-        is_neighbor = self._neighbor_index().is_neighbor
-        for tx in active:
-            sender_id = tx.sender.node_id
-            if sender_id == node_id or is_neighbor(sender_id, node_id):
-                return True
-        return False
+        if self._busy is None:
+            self._neighbor_index()
+        port = self._ports.get(node_id)
+        return port is not None and self._busy[port._medium_rank] > 0
 
     # -- transmission ------------------------------------------------------
 
@@ -242,8 +364,9 @@ class Medium:
         duration = sender.airtime(frame)
         start = self.sim.now
         end = start + duration
+        is_broadcast = frame.is_broadcast
         receiver_port = (
-            self._ports.get(frame.dst) if not frame.is_broadcast else None
+            self._ports.get(frame.dst) if not is_broadcast else None
         )
         record = Transmission(
             self,
@@ -256,19 +379,44 @@ class Medium:
             ),
         )
         self.frames_sent += 1
+        index = self._neighbor_index()
 
         # Interference bookkeeping against currently active transmissions.
+        # Unicast victims resolve immediately (their receiver is known);
+        # broadcast records instead accumulate the overlapping senders and
+        # resolve per receiver at end-of-frame.
+        if is_broadcast:
+            record.interferers = []
         for other in self._active:
             # The new transmission corrupts ongoing receptions whose
             # receiver hears this sender too loudly to reject it.
-            if not other.frame.is_broadcast and not other.corrupted:
-                if self._corrupts(interferer=sender, victim=other):
-                    other.corrupted = True
+            if other.frame.is_broadcast:
+                other.interferers.append(sender)
+            elif not other.corrupted and self._corrupts(
+                interferer=sender, victim=other
+            ):
+                other.corrupted = True
             # Ongoing transmissions corrupt the new one if audible at its
             # receiver (this includes the receiver itself transmitting).
-            if receiver_port is not None and not record.corrupted:
+            if is_broadcast:
+                record.interferers.append(other.sender)
+            elif receiver_port is not None and not record.corrupted:
                 if self._corrupts(interferer=other.sender, victim=record):
                     record.corrupted = True
+
+        ranks = index.neighbor_ranks(sender.node_id)
+        record.busy_ranks = ranks
+        busy = self._busy
+        busy[sender._medium_rank] += 1
+        for rank in ranks:
+            busy[rank] += 1
+        if is_broadcast:
+            ports_by_rank = index.ports_by_rank
+            deaf = [
+                rank for rank in ranks if not ports_by_rank[rank].is_listening
+            ]
+            if deaf:
+                record.deaf_ranks = frozenset(deaf)
 
         self._active.append(record)
         end_event = self.sim.timeout(duration)
@@ -288,60 +436,129 @@ class Medium:
             return True
         if victim_rx not in self._ports:
             return False
-        if not self._neighbor_index().is_neighbor(interferer.node_id, victim_rx):
+        return self._interferes(interferer, victim.sender, victim_rx)
+
+    def _interferes(
+        self, interferer: "RadioPort", sender: "RadioPort", rx_id: int
+    ) -> bool:
+        """The receiver-centric overlap/capture test at node ``rx_id``."""
+        if rx_id == interferer.node_id:
+            return True
+        if not self._neighbor_index().is_neighbor(interferer.node_id, rx_id):
             return False
         if self.capture_ratio is None:
             return True
-        rx_pos = self.layout.position(victim_rx)
+        rx_pos = self.layout.position(rx_id)
         signal_distance = self.layout.position(
-            victim.sender.node_id
+            sender.node_id
         ).distance_to(rx_pos)
         interference_distance = self.layout.position(
             interferer.node_id
         ).distance_to(rx_pos)
         return interference_distance < self.capture_ratio * signal_distance
 
+    def _broadcast_corrupted(self, record: Transmission, rx_id: int) -> bool:
+        """Whether any recorded interferer ruins ``record`` at ``rx_id``."""
+        sender = record.sender
+        for interferer in record.interferers:
+            if self._interferes(interferer, sender, rx_id):
+                return True
+        return False
+
     def _finish(self, record: Transmission) -> None:
         """End-of-frame: deliver (or not) and charge receiver-side energy."""
         self._active.remove(record)
+        sender = record.sender
+        busy = self._busy
+        if busy is not None:
+            busy[sender._medium_rank] -= 1
+            for rank in record.busy_ranks:
+                busy[rank] -= 1
+
         frame = record.frame
-        sender_id = record.sender.node_id
+        sender_id = sender.node_id
         duration = record.end_s - record.start_s
-        ports = self._ports
         index = self._neighbor_index()
-        audible = index.neighbors(sender_id)
         is_broadcast = frame.is_broadcast
         frame_dst = frame.dst
+        ranks = index.neighbor_ranks(sender_id)
+        ports_by_rank = index.ports_by_rank
 
         # Receiver-side energy for everyone who heard the frame.  Charged
         # whether or not the frame decodes: the radio listened regardless.
         # Promiscuous listeners additionally get a copy of frames addressed
         # elsewhere (approximation: decodability at third parties follows
         # the addressed receiver's collision outcome).
-        for neighbor_id in audible:
-            port = ports[neighbor_id]
-            if not port.is_listening:
-                continue
-            addressed = neighbor_id == frame_dst or is_broadcast
-            port.charge_reception(frame, duration, addressed=addressed)
-            if port.promiscuous and not addressed and not record.corrupted:
-                port.deliver_overheard(frame)
+        fanout = self._fanout
+        if fanout is not None:
+            bank, rows = fanout
+            listening = self._listening
+            listeners = [rank for rank in ranks if listening[rank]]
+            if listeners:
+                if is_broadcast:
+                    bank.charge_reception_fanout(
+                        [rows[rank] for rank in listeners],
+                        sender.component,
+                        sender.reception_charges(frame, duration, addressed=True),
+                    )
+                else:
+                    dst_port = self._ports.get(frame_dst)
+                    bank.charge_reception_fanout(
+                        [rows[rank] for rank in listeners],
+                        sender.component,
+                        sender.reception_charges(frame, duration, addressed=False),
+                        special_row=(
+                            rows[dst_port._medium_rank]
+                            if dst_port is not None
+                            else -1
+                        ),
+                        special_charges=sender.reception_charges(
+                            frame, duration, addressed=True
+                        ),
+                    )
+                    if self._any_promiscuous and not record.corrupted:
+                        for rank in listeners:
+                            port = ports_by_rank[rank]
+                            if port.promiscuous and port.node_id != frame_dst:
+                                port.deliver_overheard(frame)
+        else:
+            ports = self._ports
+            for neighbor_id in index.neighbors(sender_id):
+                port = ports[neighbor_id]
+                if not port.is_listening:
+                    continue
+                addressed = neighbor_id == frame_dst or is_broadcast
+                port.charge_reception(frame, duration, addressed=addressed)
+                if port.promiscuous and not addressed and not record.corrupted:
+                    port.deliver_overheard(frame)
 
         if is_broadcast:
             loss = self.loss
             delivery_roll = self.propagation.delivery_roll
-            for neighbor_id in audible:
-                port = ports[neighbor_id]
-                if (
-                    port.is_listening
-                    and not loss.is_lost()
-                    and delivery_roll(record.sender, neighbor_id)
+            deaf = record.deaf_ranks
+            interferers = record.interferers
+            for rank in ranks:
+                port = ports_by_rank[rank]
+                if not port.is_listening:
+                    continue
+                if deaf is not None and rank in deaf:
+                    continue
+                if interferers and self._broadcast_corrupted(
+                    record, port.node_id
                 ):
-                    port.deliver(frame)
-            self.frames_delivered += 1
+                    self.frames_collided += 1
+                    continue
+                if loss.is_lost():
+                    self.frames_lost += 1
+                    continue
+                if not delivery_roll(sender, port.node_id):
+                    self.frames_lost += 1
+                    continue
+                self.frames_delivered += 1
+                port.deliver(frame)
             return
 
-        port = ports.get(frame_dst)
+        port = self._ports.get(frame_dst)
         if port is None:
             return
         in_reach = index.is_neighbor(sender_id, frame_dst)
@@ -353,7 +570,7 @@ class Medium:
         if self.loss.is_lost():
             self.frames_lost += 1
             return
-        if not self.propagation.delivery_roll(record.sender, frame.dst):
+        if not self.propagation.delivery_roll(sender, frame_dst):
             self.frames_lost += 1
             return
         self.frames_delivered += 1

@@ -201,7 +201,12 @@ class ContentionMac:
             window = min(window * 2, max(busy_cap, window))
 
     def medium_busy(self) -> bool:
-        """Carrier-sense result at this node."""
+        """Carrier-sense result at this node.
+
+        O(1): the medium keeps a per-node busy refcount incrementally, so
+        backoff loops can sense as often as they like without scanning the
+        active-transmission list.
+        """
         return self.radio.medium.is_busy_for(self.radio.node_id)
 
     def _ack_wait_s(self) -> float:

@@ -307,6 +307,32 @@ class RoutingTable(_QueryMixin):
         }
 
 
+class _LazyTree:
+    """Resume-able BFS state for one destination's routing tree.
+
+    ``parent``/``depth`` entries are final the moment they are assigned
+    (BFS settles each node exactly once), so the tree can stop expanding
+    between levels and resume later: the pending ``frontier`` plus the
+    destination's private ``rng`` capture the whole BFS state, and the
+    shuffle-draw sequence of a resumed expansion is identical to an
+    uninterrupted full build.  ``frontier`` is emptied when the reachable
+    component is exhausted — after that a ``-1`` parent means unreachable
+    rather than not-yet-expanded.
+    """
+
+    __slots__ = ("parent", "depth", "rng", "frontier")
+
+    def __init__(
+        self, n: int, dst_idx: int, rng: typing.Any
+    ):
+        self.parent = [-1] * n
+        self.depth = [-1] * n
+        self.parent[dst_idx] = dst_idx
+        self.depth[dst_idx] = 0
+        self.rng = rng
+        self.frontier: list[int] = [dst_idx]
+
+
 class LazyRoutingTable(_QueryMixin):
     """Per-destination BFS trees over a CSR adjacency, computed on demand.
 
@@ -323,10 +349,18 @@ class LazyRoutingTable(_QueryMixin):
 
     Notes
     -----
-    The first query toward a destination costs one BFS — O(V + E) int-array
-    work; every later query on the same destination is a dict+list lookup.
-    ``trees_computed`` counts the BFS runs (an ops counter ``repro bench``
-    records).
+    Trees are not only lazy per destination but *incremental within* a
+    destination: a query expands the destination's BFS level by level and
+    stops as soon as the queried source is settled, memoizing the pending
+    frontier (:class:`_LazyTree`).  A reverse-route query toward an
+    adjacent node costs O(degree) instead of O(V + E) — the difference
+    between milliseconds and seconds for the many short control-plane
+    reverse routes a 10k-node collection round issues — while the settled
+    prefix of every tree is bit-identical to a full eager build (parents
+    never change once assigned, and the per-destination rng stream
+    resumes exactly where the last expansion left it).
+    ``trees_computed`` counts destinations whose tree was started (an ops
+    counter ``repro bench`` records).
     """
 
     def __init__(self, adjacency: CsrGraph, rng: typing.Any = None):
@@ -334,8 +368,9 @@ class LazyRoutingTable(_QueryMixin):
         self._tie_seed: int | None = (
             None if rng is None else rng.getrandbits(64)
         )
-        #: dst index → (parent index array, depth array); -1 = unreachable.
-        self._trees: dict[int, tuple[list[int], list[int]]] = {}
+        #: dst index → resume-able BFS state; -1 parents are unreachable
+        #: only once the tree's frontier is exhausted.
+        self._trees: dict[int, _LazyTree] = {}
         self.trees_computed = 0
 
     @classmethod
@@ -354,46 +389,67 @@ class LazyRoutingTable(_QueryMixin):
         """Whether ``a`` and ``b`` are directly linked."""
         return self.adjacency.has_edge(a, b)
 
-    def _tree(self, dst_idx: int) -> tuple[list[int], list[int]]:
+    def _tree(self, dst_idx: int) -> _LazyTree:
+        """The (possibly partially expanded) tree state for ``dst_idx``."""
         tree = self._trees.get(dst_idx)
         if tree is not None:
             return tree
         csr = self.adjacency
-        indptr, indices = csr.indptr, csr.indices
-        n = len(csr.ids)
-        parent = [-1] * n
-        depth = [-1] * n
-        parent[dst_idx] = dst_idx
-        depth[dst_idx] = 0
         rng = (
             None
             if self._tie_seed is None
             else destination_rng(self._tie_seed, csr.ids[dst_idx])
         )
-        frontier = [dst_idx]
-        while frontier:
-            next_frontier: list[int] = []
-            for node in frontier:
-                node_depth = depth[node] + 1
-                if rng is None:
-                    for j in range(indptr[node], indptr[node + 1]):
-                        neighbor = indices[j]
-                        if parent[neighbor] < 0:
-                            parent[neighbor] = node
-                            depth[neighbor] = node_depth
-                            next_frontier.append(neighbor)
-                else:
-                    order = indices[indptr[node] : indptr[node + 1]]
-                    rng.shuffle(order)
-                    for neighbor in order:
-                        if parent[neighbor] < 0:
-                            parent[neighbor] = node
-                            depth[neighbor] = node_depth
-                            next_frontier.append(neighbor)
-            frontier = next_frontier
-        tree = (parent, depth)
+        tree = _LazyTree(len(csr.ids), dst_idx, rng)
         self._trees[dst_idx] = tree
         self.trees_computed += 1
+        return tree
+
+    def _expand_level(self, tree: _LazyTree) -> None:
+        """Advance ``tree`` by one BFS level (exact historical draw order)."""
+        csr = self.adjacency
+        indptr, indices = csr.indptr, csr.indices
+        parent, depth, rng = tree.parent, tree.depth, tree.rng
+        next_frontier: list[int] = []
+        for node in tree.frontier:
+            node_depth = depth[node] + 1
+            if rng is None:
+                for j in range(indptr[node], indptr[node + 1]):
+                    neighbor = indices[j]
+                    if parent[neighbor] < 0:
+                        parent[neighbor] = node
+                        depth[neighbor] = node_depth
+                        next_frontier.append(neighbor)
+            else:
+                # A fresh slice per visit keeps the rng draw sequence
+                # identical to the historical sort-then-shuffle (shuffle
+                # consumption depends only on list length).
+                order = indices[indptr[node] : indptr[node + 1]]
+                rng.shuffle(order)
+                for neighbor in order:
+                    if parent[neighbor] < 0:
+                        parent[neighbor] = node
+                        depth[neighbor] = node_depth
+                        next_frontier.append(neighbor)
+        tree.frontier = next_frontier
+
+    def _settled_tree(self, dst_idx: int, src_idx: int) -> _LazyTree:
+        """The tree for ``dst_idx``, expanded until ``src_idx`` settles.
+
+        Stops at the first BFS level that reaches ``src_idx`` (or when
+        the component is exhausted, which marks ``src_idx`` unreachable).
+        """
+        tree = self._tree(dst_idx)
+        parent = tree.parent
+        while parent[src_idx] < 0 and tree.frontier:
+            self._expand_level(tree)
+        return tree
+
+    def _full_tree(self, dst_idx: int) -> _LazyTree:
+        """The tree for ``dst_idx``, expanded to its whole component."""
+        tree = self._tree(dst_idx)
+        while tree.frontier:
+            self._expand_level(tree)
         return tree
 
     def _pair_indexes(self, src: int, dst: int) -> tuple[int, int] | None:
@@ -421,8 +477,7 @@ class LazyRoutingTable(_QueryMixin):
         if indexes is None:
             return False
         src_idx, dst_idx = indexes
-        parent, _depth = self._tree(dst_idx)
-        return parent[src_idx] >= 0
+        return self._settled_tree(dst_idx, src_idx).parent[src_idx] >= 0
 
     def next_hop(self, src: int, dst: int) -> int:
         if src == dst:
@@ -431,8 +486,7 @@ class LazyRoutingTable(_QueryMixin):
         if indexes is None:
             raise RoutingError(f"no route from {src} to {dst}")
         src_idx, dst_idx = indexes
-        parent, _depth = self._tree(dst_idx)
-        hop = parent[src_idx]
+        hop = self._settled_tree(dst_idx, src_idx).parent[src_idx]
         if hop < 0:
             raise RoutingError(f"no route from {src} to {dst}")
         return self.adjacency.ids[hop]
@@ -446,8 +500,7 @@ class LazyRoutingTable(_QueryMixin):
         if indexes is None:
             raise RoutingError(f"no route from {src} to {dst}")
         src_idx, dst_idx = indexes
-        _parent, depth = self._tree(dst_idx)
-        count = depth[src_idx]
+        count = self._settled_tree(dst_idx, src_idx).depth[src_idx]
         if count < 0:
             raise RoutingError(f"no route from {src} to {dst}")
         return count
@@ -462,7 +515,7 @@ class LazyRoutingTable(_QueryMixin):
         csr = self.adjacency
         if sink not in csr:
             return {}
-        _parent, depth = self._tree(csr.index(sink))
+        depth = self._full_tree(csr.index(sink)).depth
         return {
             node: depth[i] for i, node in enumerate(csr.ids) if depth[i] >= 0
         }

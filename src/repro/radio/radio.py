@@ -98,6 +98,10 @@ class RadioPort:
         self._transmitting = False
         self.frames_tx = 0
         self.frames_rx = 0
+        #: Registration-order position on the medium (assigned by
+        #: :meth:`Medium.register`); indexes the medium's per-port arrays
+        #: (busy refcounts, listening flags, meter rows).
+        self._medium_rank = -1
         medium.register(self)
 
     # -- identity shortcuts used by the medium ---------------------------
@@ -131,9 +135,17 @@ class RadioPort:
     def set_overhear_handler(
         self, callback: typing.Callable[[Frame], None]
     ) -> None:
-        """Install the promiscuous-mode callback and enable the mode."""
+        """Install the promiscuous-mode callback and enable the mode.
+
+        Handlers must not charge energy or draw randomness: the medium's
+        batched delivery runs them after the frame's energy fanout, so a
+        side-effecting handler would reorder accounting relative to the
+        historical per-receiver loop.  (BCP's shortcut learning, the one
+        production handler, only mutates routing dictionaries.)
+        """
         self._overhear_handler = callback
         self.promiscuous = True
+        self.medium.note_promiscuous(self)
 
     def deliver(self, frame: Frame) -> None:
         """Called by the medium when a frame decodes successfully here."""
@@ -169,6 +181,7 @@ class RadioPort:
         self.frames_tx += 1
         duration = self.airtime(frame)
         self._begin_tx_accounting(duration)
+        self.medium.note_state(self)
         end_event = self.medium.transmit(self, frame)
         # The end event is the medium's Timeout for exactly ``duration``
         # (``Timeout.delay``), so the bound method needs no closure — one
@@ -179,6 +192,7 @@ class RadioPort:
     def _end_transmit(self, end_event: "Event") -> None:
         self._transmitting = False
         self._end_tx_accounting(end_event.delay)
+        self.medium.note_state(self)
 
     # -- hooks for subclasses ----------------------------------------------
 
@@ -191,11 +205,24 @@ class RadioPort:
     def _end_tx_accounting(self, duration: float) -> None:
         raise NotImplementedError
 
+    def reception_charges(
+        self, frame: Frame, duration: float, addressed: bool
+    ) -> tuple[tuple[float, str], ...]:
+        """The ``(joules, category)`` charges for hearing ``frame``.
+
+        Must be a pure function of the radio's spec and the frame — every
+        port sharing a spec returns the same plan, which is what lets the
+        medium compute it once per frame and charge a whole fleet of
+        receivers through :meth:`MeterBank.charge_reception_fanout`.
+        """
+        raise NotImplementedError
+
     def charge_reception(
         self, frame: Frame, duration: float, addressed: bool
     ) -> None:
         """Charge energy for hearing ``frame`` (called by the medium)."""
-        raise NotImplementedError
+        for joules, category in self.reception_charges(frame, duration, addressed):
+            self.meter.charge(joules, self.component, category)
 
 
 class LowPowerRadio(RadioPort):
@@ -214,22 +241,18 @@ class LowPowerRadio(RadioPort):
     def _end_tx_accounting(self, duration: float) -> None:
         return None
 
-    def charge_reception(
+    def reception_charges(
         self, frame: Frame, duration: float, addressed: bool
-    ) -> None:
+    ) -> tuple[tuple[float, str], ...]:
         if addressed:
-            self.meter.charge(
-                self.spec.p_rx_w * duration, self.component, CATEGORY_RX
-            )
-            return
+            return ((self.spec.p_rx_w * duration, CATEGORY_RX),)
         header_s = min(duration, frame.header_bits / self.rate_bps)
-        self.meter.charge(
-            self.spec.p_rx_w * header_s, self.component, CATEGORY_OVERHEAR_HEADER
-        )
-        self.meter.charge(
-            self.spec.p_rx_w * (duration - header_s),
-            self.component,
-            CATEGORY_OVERHEAR_BODY,
+        return (
+            (self.spec.p_rx_w * header_s, CATEGORY_OVERHEAR_HEADER),
+            (
+                self.spec.p_rx_w * (duration - header_s),
+                CATEGORY_OVERHEAR_BODY,
+            ),
         )
 
 
@@ -286,6 +309,7 @@ class HighPowerRadio(RadioPort):
             return  # sleep() raced the wake; waiters were already failed
         self.state = RadioState.IDLE
         self._integrator.set_power(self.spec.p_idle_w, CATEGORY_IDLE)
+        self.medium.note_state(self)
         waiters, self._wake_waiters = self._wake_waiters, []
         for waiter in waiters:
             waiter.succeed()
@@ -307,6 +331,7 @@ class HighPowerRadio(RadioPort):
         waiters, self._wake_waiters = self._wake_waiters, []
         self.state = RadioState.OFF
         self._integrator.set_power(0.0, CATEGORY_IDLE)
+        self.medium.note_state(self)
         for waiter in waiters:
             waiter.fail(SimulationError("radio was turned off while waking"))
 
@@ -332,11 +357,10 @@ class HighPowerRadio(RadioPort):
         self.state = RadioState.IDLE
         self._integrator.set_power(self.spec.p_idle_w, CATEGORY_IDLE)
 
-    def charge_reception(
+    def reception_charges(
         self, frame: Frame, duration: float, addressed: bool
-    ) -> None:
+    ) -> tuple[tuple[float, str], ...]:
         # The idle baseline is already integrated; receptions cost the
         # increment above idle.
         increment = max(0.0, self.spec.p_rx_w - self.spec.p_idle_w) * duration
-        category = CATEGORY_RX if addressed else "overhear"
-        self.meter.charge(increment, self.component, category)
+        return ((increment, CATEGORY_RX if addressed else "overhear"),)

@@ -1,0 +1,319 @@
+"""Batched medium delivery: bugfix regressions and decision identity.
+
+Covers the PR-7 medium rework:
+
+* broadcast receptions apply the same receiver-centric overlap/capture
+  test as unicast (they used to be immune to collisions);
+* broadcast counters record actual per-receiver outcomes (delivered used
+  to bump once per frame even with zero listeners);
+* :class:`LossModel` validates at construction that a nonzero probability
+  comes with an rng;
+* a hypothesis property pins the batched fast path (listening bitmap,
+  ``MeterBank`` energy fanout, O(1) busy refcounts) as decision- and
+  bit-identical to the historical per-receiver loop the generic path
+  preserves.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.medium import LossModel, Medium
+from repro.channel.propagation import DistancePrr
+from repro.energy.meter import EnergyMeter, MeterBank
+from repro.energy.radio_specs import MICAZ
+from repro.mac.frames import BROADCAST, Frame, FrameKind
+from repro.radio.radio import LowPowerRadio
+from repro.sim import Simulator
+from repro.topology import line_layout
+from repro.topology.layout import Layout, Position
+
+
+def data_frame(src, dst, payload_bits=256, header_bits=64, seq=0):
+    return Frame(
+        kind=FrameKind.DATA,
+        src=src,
+        dst=dst,
+        payload_bits=payload_bits,
+        header_bits=header_bits,
+        seq=seq,
+        require_ack=False,
+    )
+
+
+class BankHarness:
+    """Raw radios metered by one MeterBank (the batched fast path)."""
+
+    def __init__(self, layout, loss=None, seed=1, propagation=None):
+        self.sim = Simulator(seed=seed)
+        self.layout = layout
+        self.medium = Medium(
+            self.sim, layout, "test", loss=loss, propagation=propagation
+        )
+        n = len(layout)
+        self.bank = MeterBank(n)
+        self.radios = {
+            i: LowPowerRadio(
+                self.sim, i, MICAZ, self.medium, self.bank.meter(i)
+            )
+            for i in range(n)
+        }
+        self.received = {i: [] for i in range(n)}
+        for i in range(n):
+            self.radios[i].set_receiver(
+                lambda frame, i=i: self.received[i].append(frame)
+            )
+
+
+class TestLossModelValidation:
+    def test_nonzero_probability_requires_rng(self):
+        with pytest.raises(ValueError):
+            LossModel(0.3)
+
+    def test_zero_probability_needs_no_rng(self):
+        model = LossModel(0.0)
+        assert not any(model.is_lost() for _ in range(10))
+
+    def test_nonzero_probability_with_rng_accepted(self):
+        sim = Simulator(seed=1)
+        model = LossModel(0.3, sim.rng.stream("loss"))
+        assert model.is_lost() in (True, False)
+
+
+class TestBroadcastCollisions:
+    def test_overlapping_broadcasts_collide_at_common_receiver(self):
+        """Hidden-terminal broadcasts: 0 and 2 cannot hear each other but
+        both reach 1, so neither broadcast survives there."""
+        h = BankHarness(line_layout(3, 40.0))
+        h.radios[0].transmit(data_frame(0, BROADCAST))
+        h.radios[2].transmit(data_frame(2, BROADCAST))
+        h.sim.run()
+        assert h.received[1] == []
+        assert h.medium.frames_collided == 2
+        assert h.medium.frames_delivered == 0
+
+    def test_capture_saves_broadcast_from_weak_interferer(self):
+        """An interferer 4x farther than the sender is captured away."""
+        layout = Layout(
+            {0: Position(0.0, 0.0), 1: Position(10.0, 0.0), 2: Position(40.0, 0.0)}
+        )
+        h = BankHarness(layout)
+        h.radios[1].transmit(data_frame(1, BROADCAST, payload_bits=8192))
+
+        def interferer():
+            yield h.sim.timeout(0.001)  # mid-flight of the broadcast
+            h.radios[2].transmit(data_frame(2, 0, payload_bits=64))
+
+        h.sim.process(interferer())
+        h.sim.run()
+        # At node 0 the wanted signal is 10 m away, the interferer 40 m:
+        # 40 >= 1.7 * 10, so node 0 captures the broadcast.
+        assert len(h.received[0]) == 1
+
+    def test_any_overlap_kills_without_capture(self):
+        layout = Layout(
+            {0: Position(0.0, 0.0), 1: Position(10.0, 0.0), 2: Position(40.0, 0.0)}
+        )
+        h = BankHarness(layout)
+        h.medium.capture_ratio = None
+        h.radios[1].transmit(data_frame(1, BROADCAST, payload_bits=8192))
+
+        def interferer():
+            yield h.sim.timeout(0.001)
+            h.radios[2].transmit(data_frame(2, 0, payload_bits=64))
+
+        h.sim.process(interferer())
+        h.sim.run()
+        assert h.received[0] == []
+        assert h.medium.frames_collided >= 1
+
+    def test_receiver_deaf_at_broadcast_start_misses_it(self):
+        """A node mid-transmission when a broadcast starts cannot sync to
+        its preamble, even if its own frame ends first (mirrors the
+        unicast ``receiver_listening`` snapshot)."""
+        h = BankHarness(line_layout(3, 40.0))
+        h.radios[0].transmit(data_frame(0, 1, payload_bits=64))
+        h.radios[1].transmit(data_frame(1, BROADCAST, payload_bits=8192))
+        h.sim.run()
+        assert h.received[0] == []  # deaf at start: skipped, not collided
+        assert len(h.received[2]) == 1
+        assert h.medium.frames_collided == 0
+        assert h.medium.frames_delivered == 1
+
+
+class TestBroadcastCounters:
+    def test_no_listeners_means_no_delivery_count(self):
+        h = BankHarness(line_layout(2, 100.0))  # out of range
+        h.radios[0].transmit(data_frame(0, BROADCAST))
+        h.sim.run()
+        assert h.medium.frames_sent == 1
+        assert h.medium.frames_delivered == 0
+
+    def test_delivered_counts_each_receiver(self):
+        h = BankHarness(line_layout(3, 40.0))
+        h.radios[1].transmit(data_frame(1, BROADCAST))
+        h.sim.run()
+        assert h.medium.frames_delivered == 2
+
+    def test_failed_rolls_surface_as_lost(self):
+        sim_seed = 7
+        sim = Simulator(seed=sim_seed)
+        loss = LossModel(0.99, sim.rng.stream("loss"))
+        h = BankHarness(line_layout(3, 40.0), loss=loss, seed=sim_seed)
+        h.radios[1].transmit(data_frame(1, BROADCAST))
+        h.sim.run()
+        # Two listening receivers: every roll is either a delivery or a
+        # counted loss — the counters reconcile.
+        assert h.medium.frames_delivered + h.medium.frames_lost == 2
+
+
+class TestFastPathEligibility:
+    def test_homogeneous_bank_fleet_uses_fanout(self):
+        h = BankHarness(line_layout(3, 40.0))
+        h.medium._neighbor_index()
+        assert h.medium._fanout is not None
+
+    def test_standalone_meters_fall_back_to_generic(self):
+        sim = Simulator(seed=1)
+        layout = line_layout(3, 40.0)
+        medium = Medium(sim, layout, "m")
+        for i in range(3):
+            LowPowerRadio(sim, i, MICAZ, medium, EnergyMeter(str(i)))
+        medium._neighbor_index()
+        assert medium._fanout is None
+
+    def test_busy_refcount_tracks_overlapping_frames(self):
+        h = BankHarness(line_layout(3, 40.0))
+        h.radios[0].transmit(data_frame(0, 1, payload_bits=8192))
+        trace = []
+
+        def probe():
+            yield h.sim.timeout(0.001)
+            h.radios[2].transmit(data_frame(2, 1, payload_bits=8192))
+            yield h.sim.timeout(0.001)
+            trace.append(h.medium.is_busy_for(1))  # hears both
+            trace.append(h.medium.is_busy_for(0))  # own + nothing else
+
+        h.sim.process(probe())
+        h.sim.run()
+        trace.append(h.medium.is_busy_for(1))  # all over
+        assert trace == [True, True, False]
+        assert all(count == 0 for count in h.medium._busy)
+
+
+# -- decision identity: batched fast path vs historical loop ---------------
+
+
+@st.composite
+def medium_scenario(draw):
+    n = draw(st.integers(min_value=3, max_value=7))
+    positions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=100),
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),  # sender
+                st.integers(min_value=-1, max_value=n - 1),  # dst (-1 = bcast)
+                st.integers(min_value=0, max_value=3),  # delay ms
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    promiscuous = draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+    use_loss = draw(st.booleans())
+    use_prr = draw(st.booleans())
+    seed = draw(st.integers(min_value=1, max_value=10_000))
+    return n, positions, events, promiscuous, use_loss, use_prr, seed
+
+
+def _run_schedule(scenario, force_generic):
+    n, positions, events, promiscuous, use_loss, use_prr, seed = scenario
+    sim = Simulator(seed=seed)
+    layout = Layout(
+        {i: Position(float(x), float(y)) for i, (x, y) in enumerate(positions)}
+    )
+    loss = LossModel(0.2, sim.rng.stream("loss")) if use_loss else None
+    propagation = (
+        DistancePrr(layout, sim.rng.stream("prop"), exponent=2.0)
+        if use_prr
+        else None
+    )
+    medium = Medium(sim, layout, "m", loss=loss, propagation=propagation)
+    bank = MeterBank(n)
+    radios = {
+        i: LowPowerRadio(sim, i, MICAZ, medium, bank.meter(i))
+        for i in range(n)
+    }
+    received = {i: [] for i in range(n)}
+    overheard = {i: [] for i in range(n)}
+    for i in range(n):
+        radios[i].set_receiver(
+            lambda frame, i=i: received[i].append((frame.src, frame.seq))
+        )
+    for i in promiscuous:
+        radios[i].set_overhear_handler(
+            lambda frame, i=i: overheard[i].append((frame.src, frame.seq))
+        )
+    medium._neighbor_index()
+    if force_generic:
+        medium._fanout = None
+    busy_trace = []
+
+    def driver():
+        for seq, (sender, dst, delay_ms) in enumerate(events):
+            yield sim.timeout(delay_ms / 1000.0)
+            sensed = [medium.is_busy_for(i) for i in range(n)]
+            # The O(1) refcount must agree with the historical scan over
+            # active transmissions at every sample point.
+            for i in range(n):
+                reference = any(
+                    tx.sender.node_id == i
+                    or medium.is_neighbor(tx.sender.node_id, i)
+                    for tx in medium._active
+                )
+                assert sensed[i] == reference
+            busy_trace.append(sensed)
+            radio = radios[sender]
+            if radio.is_transmitting:
+                continue
+            radio.transmit(
+                data_frame(
+                    sender, BROADCAST if dst < 0 else dst, seq=seq
+                )
+            )
+
+    sim.process(driver())
+    sim.run()
+    return {
+        "received": received,
+        "overheard": overheard,
+        "counters": (
+            medium.frames_sent,
+            medium.frames_delivered,
+            medium.frames_collided,
+            medium.frames_lost,
+        ),
+        "energy": [bank.node_items(i) for i in range(n)],
+        "busy": busy_trace,
+    }
+
+
+class TestBatchedDecisionIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=medium_scenario())
+    def test_fast_path_matches_historical_loop(self, scenario):
+        """Same topology, traffic, listening churn, loss and PRR draws:
+        the batched fanout path and the per-receiver loop must make
+        identical decisions and charge bit-identical energy."""
+        fast = _run_schedule(scenario, force_generic=False)
+        generic = _run_schedule(scenario, force_generic=True)
+        assert fast == generic

@@ -193,6 +193,32 @@ class TestLazyRoutingTable:
             if backward.has_route(a, b):
                 assert backward.next_hop(a, b) == answers_fwd[(a, b)]
 
+    def test_incremental_expansion_matches_one_shot_build(self):
+        """Settling a tree level by level across interleaved queries must
+        reproduce the exact tree (and rng draw sequence) of building it
+        exhaustively in one go."""
+        layout = random_layout(60, 200.0, 200.0, random.Random(5))
+        incremental = LazyRoutingTable.from_layout(
+            layout, 60.0, rng=random.Random(11)
+        )
+        one_shot = LazyRoutingTable.from_layout(
+            layout, 60.0, rng=random.Random(11)
+        )
+        dst = layout.node_ids[0]
+        # Partial, near-to-far queries expand the incremental tree a few
+        # levels at a time; depths_to then forces full expansion on both.
+        for src in layout.node_ids[1:]:
+            if incremental.has_route(src, dst):
+                incremental.next_hop(src, dst)
+        assert incremental.depths_to(dst) == one_shot.depths_to(dst)
+        for src in layout.node_ids:
+            if src == dst or not one_shot.has_route(src, dst):
+                continue
+            assert incremental.next_hop(src, dst) == one_shot.next_hop(
+                src, dst
+            )
+            assert incremental.hops(src, dst) == one_shot.hops(src, dst)
+
     def test_path_walks_to_destination(self):
         layout = line_layout(6, 40.0)
         lazy = build_routing(layout, 40.0, engine="lazy")
