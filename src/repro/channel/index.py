@@ -10,12 +10,22 @@ k candidates per cell neighborhood instead of O(n²) — and serves
 * :meth:`neighbors` — the audible set as a cached tuple, ordered by port
   registration order (byte-compatible with the historical scan, which
   iterated the registration dict);
-* :meth:`is_neighbor` — O(1) membership via per-node frozensets; and
+* :meth:`is_neighbor` — O(1) membership via per-node frozensets;
 * the batch-delivery arrays the medium's hot path iterates:
   :meth:`neighbor_ranks` (each audible set as dense registration-order
   ranks) plus :attr:`ports_by_rank` (rank → port object), so one frame's
   delivery is a single pass over int tuples and list indexing with no
-  per-receiver dict hops.
+  per-receiver dict hops; and
+* the carrier-sense *audibility groups*: when audibility is symmetric,
+  two ports whose closed audible sets (``N(u) | {u}``) are identical
+  always observe the same number of concurrently audible transmissions
+  — the sender's own half-duplex +1 is exactly the self-membership term
+  — so the medium keeps one busy refcount per group instead of one per
+  rank.  A single-cell clique collapses to one counter (one increment
+  per frame instead of ~n); a sparse random field degenerates to
+  singleton groups, which is byte-for-byte the historical per-rank
+  scheme.  Asymmetric audibility (heterogeneous reaches) disables the
+  merge entirely and keeps singleton groups.
 
 The index is invalidation-free by construction: it is built lazily after
 the last :meth:`Medium.register` call and the inputs (layout positions,
@@ -106,6 +116,49 @@ class NeighborIndex:
             self._neighbor_ranks[node] = tuple(order[i] for i in found)
             self._members[node] = frozenset(found)
 
+        # Audibility groups for carrier sensing.  Merging is only sound
+        # when audibility is symmetric: the per-rank busy count equals
+        # |{active t : t.sender in N(u) | {u}}| (the union term is the
+        # sender's own half-duplex increment), and with u in N(s) <=> s in
+        # N(u) that count depends on u only through the closed set
+        # N(u) | {u} — ranks sharing it can share one counter.  Any
+        # asymmetric link breaks the equivalence, so heterogeneous-reach
+        # deployments fall back to one singleton group per rank, which
+        # reproduces the historical per-rank refcounts exactly.
+        members = self._members
+        symmetric = all(
+            node in members[other]
+            for node, audible in members.items()
+            for other in audible
+        )
+        n = len(self.ports_by_rank)
+        self._busy_groups: dict[int, tuple[int, ...]] = {}
+        if symmetric:
+            group_ids: dict[frozenset[int], int] = {}
+            group_of = [
+                group_ids.setdefault(frozenset(members[node] | {node}), len(group_ids))
+                for node in ports
+            ]
+            self.n_groups = len(group_ids)
+            for rank, node in enumerate(ports):
+                # Distinct groups covering the closed audible set; a group
+                # intersecting it is wholly inside it (same closed sets),
+                # so each member port's count moves by exactly one when
+                # the group's counter does.
+                self._busy_groups[node] = tuple(
+                    dict.fromkeys(
+                        [group_of[rank]]
+                        + [group_of[r] for r in self._neighbor_ranks[node]]
+                    )
+                )
+        else:
+            group_of = list(range(n))
+            self.n_groups = n
+            for rank, node in enumerate(ports):
+                self._busy_groups[node] = (rank,) + self._neighbor_ranks[node]
+        #: Rank → audibility-group id (carrier-sense reads index this).
+        self.group_of_rank: list[int] = group_of
+
     def neighbors(self, node_id: int) -> tuple[int, ...]:
         """Audible nodes for ``node_id``, in registration order."""
         return self._neighbors[node_id]
@@ -118,6 +171,16 @@ class NeighborIndex:
     def is_neighbor(self, sender_id: int, listener_id: int) -> bool:
         """Whether ``listener_id`` can hear ``sender_id`` (O(1))."""
         return listener_id in self._members[sender_id]
+
+    def busy_groups(self, node_id: int) -> tuple[int, ...]:
+        """Audibility-group ids a transmission from ``node_id`` makes busy.
+
+        Covers the node's closed audible set (itself plus every audible
+        rank): incrementing each listed group once raises every covered
+        port's effective busy count by exactly one, matching the
+        historical per-rank increments (sender's own included).
+        """
+        return self._busy_groups[node_id]
 
     def __len__(self) -> int:
         return len(self.ports_by_rank)

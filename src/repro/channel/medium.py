@@ -45,9 +45,12 @@ event per transmission.  Audible sets come from a
 hot paths are batched over its registration-order rank arrays:
 
 * **Carrier sense is an O(1) read.**  ``transmit`` increments and
-  ``_finish`` decrements a per-port busy refcount over the sender's
-  audible ranks, so :meth:`is_busy_for` indexes one array cell instead of
-  scanning the active-transmission list per query.
+  ``_finish`` decrements one busy refcount per *audibility group* (ports
+  with identical closed audible sets share a counter — see
+  :class:`~repro.channel.index.NeighborIndex`), so :meth:`is_busy_for`
+  indexes one array cell instead of scanning the active-transmission
+  list per query, and a dense cell pays one counter update per frame
+  instead of one per audible neighbor.
 * **Delivery is one batched pass.**  :meth:`_finish` walks the sender's
   cached neighbor-rank tuple with every lookup hoisted: listening states
   come from a flat per-rank array that radios keep current through
@@ -69,7 +72,7 @@ import typing
 
 from repro.channel.index import NeighborIndex
 from repro.channel.propagation import PropagationModel, UnitDiscPropagation
-from repro.mac.frames import Frame
+from repro.mac.frames import BROADCAST, Frame
 from repro.topology.layout import Layout
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -108,12 +111,17 @@ class LossModel:
         return self._rng.random() < self.probability
 
 
+#: Upper bound on recycled Transmission records retained per medium.
+_RECORD_POOL_MAX = 64
+
+
 class Transmission:
     """Bookkeeping record for one in-flight frame.
 
     The record doubles as its own end-of-frame callback (appended to the
     end event's callback list directly), saving a closure allocation per
-    frame on the hottest medium path.
+    frame on the hottest medium path — and recycles itself through the
+    medium's record pool after end-of-frame processing.
     """
 
     __slots__ = (
@@ -125,6 +133,7 @@ class Transmission:
         "corrupted",
         "receiver_listening",
         "busy_ranks",
+        "busy_groups",
         "interferers",
         "deaf_ranks",
     )
@@ -148,9 +157,12 @@ class Transmission:
         self.corrupted = False
         #: Whether the addressed receiver could hear when the frame started.
         self.receiver_listening = receiver_listening
-        #: Neighbor ranks whose busy refcount this record incremented
-        #: (the index's shared tuple — no per-frame allocation).
+        #: The sender's audible ranks (the index's shared tuple — no
+        #: per-frame allocation); delivery fans out over these.
         self.busy_ranks: tuple[int, ...] = ()
+        #: Audibility-group ids whose busy refcount this record
+        #: incremented (also an index-owned shared tuple).
+        self.busy_groups: tuple[int, ...] = ()
         #: Broadcast only: sender ports of every transmission that
         #: overlapped this one, checked per receiver at end-of-frame.
         self.interferers: list["RadioPort"] | None = None
@@ -160,7 +172,19 @@ class Transmission:
         self.deaf_ranks: frozenset[int] | None = None
 
     def __call__(self, _event: typing.Any) -> None:
-        self.medium._finish(self)
+        medium = self.medium
+        medium._finish(self)
+        # The record is dead after _finish (nothing else references it):
+        # drop the payload references and recycle it so the next transmit
+        # skips the allocation.  The record stays valid in the end event's
+        # already-dispatched callback slot — it is never called twice.
+        self.sender = None
+        self.frame = None
+        self.interferers = None
+        self.deaf_ranks = None
+        pool = medium._record_pool
+        if len(pool) < _RECORD_POOL_MAX:
+            pool.append(self)
 
 
 class Medium:
@@ -203,6 +227,9 @@ class Medium:
         propagation: PropagationModel | None = None,
     ):
         self.sim = sim
+        #: Bound once: transmit creates one end event per frame and the
+        #: two attribute hops are measurable at contention scale.
+        self._timeout = sim.timeout
         self.layout = layout
         self.name = name
         self.loss = loss or LossModel(0.0)
@@ -217,16 +244,38 @@ class Medium:
         #: rebuilt with it and invalidated with it, so ``_index is not
         #: None`` implies all of them are populated.
         self._index: NeighborIndex | None = None
-        #: Per-rank count of active transmissions audible at that port
-        #: (including its own) — the O(1) carrier-sense read.
+        #: Per-audibility-group count of active transmissions audible at
+        #: the group's ports (their own included) — the O(1) carrier-sense
+        #: read.  ``_busy_group_of`` maps a port's rank to its group.
         self._busy: list[int] | None = None
+        self._busy_group_of: list[int] | None = None
         #: Per-rank ``is_listening`` mirror, updated by :meth:`note_state`.
         self._listening: list[bool] | None = None
         #: ``(bank, bank_row_by_rank)`` when the fleet is homogeneous
         #: enough for batched energy fanout; None forces the generic loop.
         self._fanout: tuple[typing.Any, list[int]] | None = None
-        #: False lets delivery skip the per-listener promiscuous scan.
-        self._any_promiscuous = False
+        #: Ranks of promiscuous ports (index lifetime, like ``_listening``);
+        #: an empty set lets delivery skip the overhear pass entirely, and
+        #: a small one touches only actual overhearers instead of scanning
+        #: every listener per frame.  ``_promiscuous_sorted`` caches the
+        #: ascending-rank iteration order the historical per-listener scan
+        #: used (rebuilt lazily after mutation).
+        self._promiscuous: set[int] | None = None
+        self._promiscuous_sorted: tuple[int, ...] | None = None
+        #: Recycled Transmission records (see ``Transmission.__call__``).
+        self._record_pool: list[Transmission] = []
+        #: Memoized reception-charge column plans for the batched fanout
+        #: path, keyed by ``(header_bits, duration, addressed)``.  Valid
+        #: only while the fanout precondition holds (every port shares one
+        #: spec/class), which is exactly when the memo is consulted;
+        #: cleared on registration alongside the fanout itself.
+        self._charges_memo: dict[
+            tuple[int, float, bool], list[tuple[float, list[float], list[int]]]
+        ] = {}
+        #: Memoized interference verdicts keyed (interferer, sender, rx)
+        #: node ids — run constants while the port set is stable; cleared
+        #: on registration with the index (see :meth:`_interferes`).
+        self._interferes_memo: dict[tuple[int, int, int], bool] = {}
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_collided = 0
@@ -245,8 +294,13 @@ class Medium:
         self._ports[port.node_id] = port
         self._index = None
         self._busy = None
+        self._busy_group_of = None
         self._listening = None
         self._fanout = None
+        self._promiscuous = None
+        self._promiscuous_sorted = None
+        self._charges_memo.clear()
+        self._interferes_memo.clear()
 
     def port(self, node_id: int) -> "RadioPort":
         """The radio port registered for ``node_id``."""
@@ -272,16 +326,20 @@ class Medium:
         self._listening = [port.is_listening for port in ports]
         # Busy refcounts replay the increments of whatever is still on the
         # air (registration mid-flight rebuilds audibility, so each active
-        # record's rank tuple is refreshed alongside).
-        busy = [0] * len(ports)
+        # record's rank and group tuples are refreshed alongside).
+        busy = [0] * index.n_groups
         for record in self._active:
-            ranks = index.neighbor_ranks(record.sender.node_id)
-            record.busy_ranks = ranks
-            busy[record.sender._medium_rank] += 1
-            for rank in ranks:
-                busy[rank] += 1
+            sender_id = record.sender.node_id
+            record.busy_ranks = index.neighbor_ranks(sender_id)
+            record.busy_groups = groups = index.busy_groups(sender_id)
+            for group in groups:
+                busy[group] += 1
         self._busy = busy
-        self._any_promiscuous = any(port.promiscuous for port in ports)
+        self._busy_group_of = index.group_of_rank
+        self._promiscuous = {
+            rank for rank, port in enumerate(ports) if port.promiscuous
+        }
+        self._promiscuous_sorted = None
         # Batched energy fanout needs one charge plan to fit every
         # receiver: identical concrete radio class (exact — subclasses may
         # override accounting), shared spec and component, and all meters
@@ -333,8 +391,15 @@ class Medium:
             listening[port._medium_rank] = port.is_listening
 
     def note_promiscuous(self, port: "RadioPort") -> None:
-        """Record that at least one port wants overheard frames."""
-        self._any_promiscuous = True
+        """Record that ``port`` wants overheard frames.
+
+        Before the index exists there is nothing to mirror — the build
+        collects promiscuous flags from the ports directly.
+        """
+        promiscuous = self._promiscuous
+        if promiscuous is not None and port._medium_rank >= 0:
+            promiscuous.add(port._medium_rank)
+            self._promiscuous_sorted = None
 
     # -- carrier sensing -----------------------------------------------------
 
@@ -343,43 +408,74 @@ class Medium:
 
         True if any active transmission is audible at the listener's
         position (energy detection), or the listener is itself sending.
-        O(1): reads the busy refcount ``transmit``/``_finish`` maintain.
+        O(1): reads the group busy refcount ``transmit``/``_finish``
+        maintain.
         """
         if not self._active:
             return False
         if self._busy is None:
             self._neighbor_index()
         port = self._ports.get(node_id)
-        return port is not None and self._busy[port._medium_rank] > 0
+        if port is None:
+            return False
+        return self._busy[self._busy_group_of[port._medium_rank]] > 0
 
     # -- transmission ------------------------------------------------------
 
-    def transmit(self, sender: "RadioPort", frame: Frame) -> "typing.Any":
+    def transmit(
+        self,
+        sender: "RadioPort",
+        frame: Frame,
+        duration: float | None = None,
+    ) -> "typing.Any":
         """Put ``frame`` on the air from ``sender``; returns the end event.
 
         The caller (the radio) is responsible for putting itself into the
         transmitting state for the returned duration; the medium handles
-        interference, delivery and receiver-side energy.
+        interference, delivery and receiver-side energy.  ``duration`` is
+        the frame's airtime when the caller already computed it (the radio
+        needs it for accounting); None recomputes it here.
         """
-        duration = sender.airtime(frame)
+        if duration is None:
+            duration = sender.airtime(frame)
         start = self.sim.now
         end = start + duration
-        is_broadcast = frame.is_broadcast
+        # frame.dst == BROADCAST inlines the is_broadcast property — this
+        # method and _finish run once per frame and the descriptor call
+        # shows up at contention scale.
+        is_broadcast = frame.dst == BROADCAST
         receiver_port = (
             self._ports.get(frame.dst) if not is_broadcast else None
         )
-        record = Transmission(
-            self,
-            sender,
-            frame,
-            start,
-            end,
-            receiver_listening=(
-                receiver_port.is_listening if receiver_port is not None else False
-            ),
+        receiver_listening = (
+            receiver_port.is_listening if receiver_port is not None else False
         )
+        pool = self._record_pool
+        if pool:
+            record = pool.pop()
+            record.sender = sender
+            record.frame = frame
+            record.start_s = start
+            record.end_s = end
+            record.corrupted = False
+            record.receiver_listening = receiver_listening
+            record.busy_ranks = ()
+            record.busy_groups = ()
+            record.interferers = None
+            record.deaf_ranks = None
+        else:
+            record = Transmission(
+                self,
+                sender,
+                frame,
+                start,
+                end,
+                receiver_listening=receiver_listening,
+            )
         self.frames_sent += 1
-        index = self._neighbor_index()
+        index = self._index
+        if index is None:
+            index = self._build_index()
 
         # Interference bookkeeping against currently active transmissions.
         # Unicast victims resolve immediately (their receiver is known);
@@ -387,12 +483,13 @@ class Medium:
         # resolve per receiver at end-of-frame.
         if is_broadcast:
             record.interferers = []
+        corrupts = self._corrupts
         for other in self._active:
             # The new transmission corrupts ongoing receptions whose
             # receiver hears this sender too loudly to reject it.
-            if other.frame.is_broadcast:
+            if other.frame.dst == BROADCAST:
                 other.interferers.append(sender)
-            elif not other.corrupted and self._corrupts(
+            elif not other.corrupted and corrupts(
                 interferer=sender, victim=other
             ):
                 other.corrupted = True
@@ -401,15 +498,17 @@ class Medium:
             if is_broadcast:
                 record.interferers.append(other.sender)
             elif receiver_port is not None and not record.corrupted:
-                if self._corrupts(interferer=other.sender, victim=record):
+                if corrupts(interferer=other.sender, victim=record):
                     record.corrupted = True
 
-        ranks = index.neighbor_ranks(sender.node_id)
-        record.busy_ranks = ranks
+        # Direct dict reads over the index's per-node tuples: these two
+        # lookups run once per frame on the hottest path in the codebase.
+        sender_id = sender.node_id
+        record.busy_ranks = ranks = index._neighbor_ranks[sender_id]
+        record.busy_groups = groups = index._busy_groups[sender_id]
         busy = self._busy
-        busy[sender._medium_rank] += 1
-        for rank in ranks:
-            busy[rank] += 1
+        for group in groups:
+            busy[group] += 1
         if is_broadcast:
             ports_by_rank = index.ports_by_rank
             deaf = [
@@ -419,7 +518,7 @@ class Medium:
                 record.deaf_ranks = frozenset(deaf)
 
         self._active.append(record)
-        end_event = self.sim.timeout(duration)
+        end_event = self._timeout(duration)
         end_event.callbacks.append(record)
         return end_event
 
@@ -430,21 +529,57 @@ class Medium:
         capture is enabled — not far enough away for the receiver to reject
         it.  A receiver that is itself transmitting (distance 0) is always
         corrupted: radios are half-duplex.
+
+        The interference memo is consulted inline rather than through
+        :meth:`_interferes`: this runs per overlapping transmission pair
+        and the extra call frame is measurable under heavy contention.
         """
         victim_rx = victim.frame.dst
-        if victim_rx == interferer.node_id:
+        interferer_id = interferer.node_id
+        if victim_rx == interferer_id:
             return True
+        sender = victim.sender
+        key = (interferer_id, sender.node_id, victim_rx)
+        memo = self._interferes_memo
+        try:
+            # Hit-dominated after warmup: the triples recur every overlap.
+            return memo[key]
+        except KeyError:
+            pass
         if victim_rx not in self._ports:
             return False
-        return self._interferes(interferer, victim.sender, victim_rx)
+        verdict = memo[key] = self._interferes_uncached(
+            interferer_id, sender, victim_rx
+        )
+        return verdict
 
     def _interferes(
         self, interferer: "RadioPort", sender: "RadioPort", rx_id: int
     ) -> bool:
-        """The receiver-centric overlap/capture test at node ``rx_id``."""
-        if rx_id == interferer.node_id:
+        """The receiver-centric overlap/capture test at node ``rx_id``.
+
+        Memoized: the layout is immutable and the audibility index only
+        changes on registration (which clears the memo), so the verdict
+        for a ``(interferer, sender, rx)`` triple is a run constant.  On
+        contention-heavy cells the same triples recur for every frame
+        overlap, making this one of the hottest calls in the run.
+        """
+        interferer_id = interferer.node_id
+        if rx_id == interferer_id:
             return True
-        if not self._neighbor_index().is_neighbor(interferer.node_id, rx_id):
+        key = (interferer_id, sender.node_id, rx_id)
+        memo = self._interferes_memo
+        verdict = memo.get(key)
+        if verdict is not None:
+            return verdict
+        verdict = self._interferes_uncached(interferer_id, sender, rx_id)
+        memo[key] = verdict
+        return verdict
+
+    def _interferes_uncached(
+        self, interferer_id: int, sender: "RadioPort", rx_id: int
+    ) -> bool:
+        if not self._neighbor_index().is_neighbor(interferer_id, rx_id):
             return False
         if self.capture_ratio is None:
             return True
@@ -453,9 +588,36 @@ class Medium:
             sender.node_id
         ).distance_to(rx_pos)
         interference_distance = self.layout.position(
-            interferer.node_id
+            interferer_id
         ).distance_to(rx_pos)
         return interference_distance < self.capture_ratio * signal_distance
+
+    def _reception_plan(
+        self,
+        bank: typing.Any,
+        sender: "RadioPort",
+        frame: Frame,
+        duration: float,
+        addressed: bool,
+    ) -> list[tuple[float, list[float], list[int]]]:
+        """Memoized column plan for the batched fanout path.
+
+        :meth:`RadioPort.reception_charges` is a pure function of the
+        radio's spec and the frame's shape, and the fanout precondition
+        guarantees every port on this medium shares one spec — so frames
+        of one size (almost all of them: data frames and ACKs each come
+        in one shape per run) resolve straight to the bank's cached
+        column plan instead of recomputing the same float arithmetic and
+        column lookups hundreds of thousands of times.
+        """
+        key = (frame.header_bits, duration, addressed)
+        plan = self._charges_memo.get(key)
+        if plan is None:
+            plan = self._charges_memo[key] = bank.fanout_plan(
+                sender.component,
+                sender.reception_charges(frame, duration, addressed=addressed),
+            )
+        return plan
 
     def _broadcast_corrupted(self, record: Transmission, rx_id: int) -> bool:
         """Whether any recorded interferer ruins ``record`` at ``rx_id``."""
@@ -471,17 +633,23 @@ class Medium:
         sender = record.sender
         busy = self._busy
         if busy is not None:
-            busy[sender._medium_rank] -= 1
-            for rank in record.busy_ranks:
-                busy[rank] -= 1
+            for group in record.busy_groups:
+                busy[group] -= 1
 
         frame = record.frame
         sender_id = sender.node_id
         duration = record.end_s - record.start_s
-        index = self._neighbor_index()
-        is_broadcast = frame.is_broadcast
+        # transmit() built the index before this record existed; a rebuild
+        # only happens if someone registered mid-flight.
+        index = self._index
+        if index is None:
+            index = self._build_index()
         frame_dst = frame.dst
-        ranks = index.neighbor_ranks(sender_id)
+        is_broadcast = frame_dst == BROADCAST
+        # The ranks this record made busy are exactly the sender's audible
+        # ranks (refreshed by _build_index on a mid-flight rebuild) — no
+        # second index lookup needed.
+        ranks = record.busy_ranks
         ports_by_rank = index.ports_by_rank
 
         # Receiver-side energy for everyone who heard the frame.  Charged
@@ -493,34 +661,60 @@ class Medium:
         if fanout is not None:
             bank, rows = fanout
             listening = self._listening
-            listeners = [rank for rank in ranks if listening[rank]]
-            if listeners:
+            # One fused pass: filter listeners and map them to bank rows
+            # (the promiscuous walk below rebuilds the rank list only in
+            # the rare run that needs it).
+            listener_rows = [rows[rank] for rank in ranks if listening[rank]]
+            if listener_rows:
                 if is_broadcast:
-                    bank.charge_reception_fanout(
-                        [rows[rank] for rank in listeners],
-                        sender.component,
-                        sender.reception_charges(frame, duration, addressed=True),
+                    bank.apply_fanout(
+                        listener_rows,
+                        self._reception_plan(bank, sender, frame, duration, True),
                     )
                 else:
                     dst_port = self._ports.get(frame_dst)
-                    bank.charge_reception_fanout(
-                        [rows[rank] for rank in listeners],
-                        sender.component,
-                        sender.reception_charges(frame, duration, addressed=False),
+                    bank.apply_fanout(
+                        listener_rows,
+                        self._reception_plan(
+                            bank, sender, frame, duration, False
+                        ),
                         special_row=(
                             rows[dst_port._medium_rank]
                             if dst_port is not None
                             else -1
                         ),
-                        special_charges=sender.reception_charges(
-                            frame, duration, addressed=True
+                        special_plan=self._reception_plan(
+                            bank, sender, frame, duration, True
                         ),
                     )
-                    if self._any_promiscuous and not record.corrupted:
-                        for rank in listeners:
-                            port = ports_by_rank[rank]
-                            if port.promiscuous and port.node_id != frame_dst:
-                                port.deliver_overheard(frame)
+                    promiscuous = self._promiscuous
+                    if promiscuous and not record.corrupted:
+                        # Intersect the promiscuous rank set with the
+                        # sender's audible listeners, walking whichever
+                        # side is smaller; both walks visit overhearers
+                        # in the same ascending-rank order the historical
+                        # per-listener scan used.
+                        if len(promiscuous) <= len(listener_rows):
+                            overhearers = self._promiscuous_sorted
+                            if overhearers is None:
+                                overhearers = self._promiscuous_sorted = (
+                                    tuple(sorted(promiscuous))
+                                )
+                            for rank in overhearers:
+                                if not listening[rank]:
+                                    continue
+                                port = ports_by_rank[rank]
+                                node_id = port.node_id
+                                if node_id != frame_dst and index.is_neighbor(
+                                    sender_id, node_id
+                                ):
+                                    port.deliver_overheard(frame)
+                        else:
+                            for rank in ranks:
+                                if rank in promiscuous and listening[rank]:
+                                    port = ports_by_rank[rank]
+                                    if port.node_id != frame_dst:
+                                        port.deliver_overheard(frame)
         else:
             ports = self._ports
             for neighbor_id in index.neighbors(sender_id):
@@ -532,9 +726,17 @@ class Medium:
                 if port.promiscuous and not addressed and not record.corrupted:
                     port.deliver_overheard(frame)
 
+        # Loss and propagation rolls are hoisted behind cheap flag reads:
+        # is_lost() without a configured probability and delivery_roll()
+        # on a non-rolling model draw nothing and always pass, so skipping
+        # the calls is behaviour-identical and saves two method calls per
+        # delivered frame.
+        loss = self.loss
+        lossy = loss.probability > 0.0
+        propagation = self.propagation
+        rolls = propagation.rolls_delivery
+
         if is_broadcast:
-            loss = self.loss
-            delivery_roll = self.propagation.delivery_roll
             deaf = record.deaf_ranks
             interferers = record.interferers
             for rank in ranks:
@@ -548,10 +750,12 @@ class Medium:
                 ):
                     self.frames_collided += 1
                     continue
-                if loss.is_lost():
+                if lossy and loss.is_lost():
                     self.frames_lost += 1
                     continue
-                if not delivery_roll(sender, port.node_id):
+                if rolls and not propagation.delivery_roll(
+                    sender, port.node_id
+                ):
                     self.frames_lost += 1
                     continue
                 self.frames_delivered += 1
@@ -561,16 +765,16 @@ class Medium:
         port = self._ports.get(frame_dst)
         if port is None:
             return
-        in_reach = index.is_neighbor(sender_id, frame_dst)
+        in_reach = frame_dst in index._members[sender_id]
         if not in_reach or not record.receiver_listening or not port.is_listening:
             return
         if record.corrupted:
             self.frames_collided += 1
             return
-        if self.loss.is_lost():
+        if lossy and loss.is_lost():
             self.frames_lost += 1
             return
-        if not self.propagation.delivery_roll(sender, frame_dst):
+        if rolls and not propagation.delivery_roll(sender, frame_dst):
             self.frames_lost += 1
             return
         self.frames_delivered += 1

@@ -59,6 +59,11 @@ class PropagationSpec(ParamSpec):
 class PropagationModel:
     """Protocol for channel propagation (see module docstring)."""
 
+    #: Whether :meth:`delivery_roll` ever returns False (i.e. draws
+    #: per-frame randomness).  Models that always deliver leave this
+    #: False so the medium can skip the per-delivery call entirely.
+    rolls_delivery = False
+
     def max_audible_m(self, sender: "RadioPort") -> float:
         """Upper bound on the distance at which ``sender`` is audible."""
         raise NotImplementedError
@@ -160,6 +165,8 @@ class DistancePrr(PropagationModel):
     from the medium's dedicated propagation stream, so enabling the model
     never perturbs MAC backoff or traffic jitter streams.
     """
+
+    rolls_delivery = True
 
     def __init__(
         self,

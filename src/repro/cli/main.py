@@ -544,6 +544,18 @@ def _bench_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure and compare without writing BENCH_<rev>.json",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="bench-profiles",
+        default=None,
+        metavar="DIR",
+        help=(
+            "after timing each case, run one extra cProfile round and "
+            "dump DIR/<case>.pstats (default DIR: bench-profiles).  The "
+            "profiled round is untimed, so recorded walls are unaffected"
+        ),
+    )
     return parser
 
 
@@ -563,7 +575,10 @@ def _bench_main(argv: typing.Sequence[str]) -> int:
         args.suite,
         repeats=args.repeats,
         log=lambda line: print(line, file=sys.stderr),
+        profile_dir=args.profile,
     )
+    if args.profile is not None:
+        print(f"profiles: {args.profile}/<case>.pstats")
     for name, result in report.results.items():
         ops = " ".join(
             f"{key}={value:g}" for key, value in sorted(result.ops.items())
@@ -762,6 +777,16 @@ def _run_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--mac-engine",
+        choices=("flat", "generator"),
+        default="flat",
+        help=(
+            "MAC send-path engine: flat (default, callback state machine "
+            "with pooled timers) or generator (historical worker-process "
+            "engine); results are byte-identical"
+        ),
+    )
+    parser.add_argument(
         "--scheduler",
         choices=("heap", "calendar"),
         default="heap",
@@ -884,6 +909,7 @@ def _run_config(args: argparse.Namespace) -> ScenarioConfig:
             high_radios=high_radios,
             routing=args.routing,
             scheduler=args.scheduler,
+            mac_engine=args.mac_engine,
         )
         if args.traffic_mix is not None:
             changes["traffic_mix"] = _parse_pairs(args.traffic_mix, "--traffic-mix")

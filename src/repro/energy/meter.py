@@ -131,6 +131,12 @@ class MeterBank:
         #: keys by it reproduces the node's dict-insertion order.
         self._first_seq: dict[tuple[str, str], list[int]] = {}
         self._next_seq = 0
+        #: Resolved fanout plans, keyed (component, charges tuple) — see
+        #: :meth:`charge_reception_fanout`.
+        self._fanout_plans: dict[
+            tuple[str, tuple[tuple[float, str], ...]],
+            list[tuple[float, list[float], list[int]]],
+        ] = {}
 
     def charge(
         self, index: int, joules: float, component: str, category: str
@@ -171,6 +177,57 @@ class MeterBank:
         else:
             seq = self._first_seq[key]
         return column, seq
+
+    def fanout_plan(
+        self, component: str, charges: typing.Sequence[tuple[float, str]]
+    ) -> list[tuple[float, list[float], list[int]]]:
+        """Resolve (and cache) the column plan for one charge tuple.
+
+        Charges are validated once, when the plan is first built; the
+        returned list aliases the bank's live columns and stays valid for
+        the bank's lifetime.  Pair with :meth:`apply_fanout` to skip the
+        per-call key build and validation of
+        :meth:`charge_reception_fanout` on paths that already memoize per
+        frame shape (the medium's delivery loop).
+        """
+        key = (component, tuple(charges))
+        plan = self._fanout_plans.get(key)
+        if plan is None:
+            for joules, category in charges:
+                if joules < 0:
+                    raise ValueError(
+                        f"negative energy charge {joules!r} for "
+                        f"{component}/{category}"
+                    )
+            plan = self._fanout_plans[key] = [
+                (joules, *self._column_pair(component, category))
+                for joules, category in charges
+            ]
+        return plan
+
+    def apply_fanout(
+        self,
+        rows: typing.Sequence[int],
+        plan: list[tuple[float, list[float], list[int]]],
+        special_row: int = -1,
+        special_plan: typing.Sequence[tuple[float, list[float], list[int]]] = (),
+    ) -> None:
+        """Charge pre-resolved :meth:`fanout_plan` plans to ``rows``.
+
+        Charge-for-charge identical to :meth:`charge_reception_fanout`
+        with the equivalent charge tuples — same per-node first-charge
+        sequence stamps, same accumulation order.
+        """
+        next_seq = self._next_seq
+        for row in rows:
+            for joules, column, seq in (
+                special_plan if row == special_row else plan
+            ):
+                if seq[row] < 0:
+                    seq[row] = next_seq
+                    next_seq += 1
+                column[row] += joules
+        self._next_seq = next_seq
 
     def charge_reception_fanout(
         self,
@@ -215,23 +272,34 @@ class MeterBank:
                 )
         # Column/seq arrays materialize lazily: only when some row actually
         # takes the plan, matching the per-call behaviour of charge().
+        # Resolved plans are cached: the columns behind a (component,
+        # category) key never change identity once created, and charge
+        # tuples repeat (frames come in a handful of shapes per run), so
+        # the per-frame plan build collapses to one dict hit.
+        plans = self._fanout_plans
         main: list[tuple[float, list[float], list[int]]] | None = None
         special: list[tuple[float, list[float], list[int]]] | None = None
         next_seq = self._next_seq
         for row in rows:
             if row == special_row:
                 if special is None:
-                    special = [
-                        (joules, *self._column_pair(component, category))
-                        for joules, category in special_charges
-                    ]
+                    key = (component, tuple(special_charges))
+                    special = plans.get(key)
+                    if special is None:
+                        special = plans[key] = [
+                            (joules, *self._column_pair(component, category))
+                            for joules, category in special_charges
+                        ]
                 plan = special
             else:
                 if main is None:
-                    main = [
-                        (joules, *self._column_pair(component, category))
-                        for joules, category in charges
-                    ]
+                    key = (component, tuple(charges))
+                    main = plans.get(key)
+                    if main is None:
+                        main = plans[key] = [
+                            (joules, *self._column_pair(component, category))
+                            for joules, category in charges
+                        ]
                 plan = main
             for joules, column, seq in plan:
                 if seq[row] < 0:

@@ -70,6 +70,7 @@ from repro.energy.radio_specs import (
     RadioSpec,
     get_spec,
 )
+from repro.mac.base import MAC_ENGINES
 from repro.mac.csma import SensorCsmaMac
 from repro.mac.dcf import DcfMac
 from repro.models.forwarding import ForwardingAgent
@@ -239,6 +240,14 @@ class ScenarioConfig:
     #: but it is still part of the cached identity so a cache hit records
     #: which backend produced it.
     scheduler: str = "heap"
+    #: MAC send-path engine (:data:`repro.mac.base.MAC_ENGINES`):
+    #: ``"flat"`` (default) drives contention with a callback state
+    #: machine and pooled timers; ``"generator"`` is the historical
+    #: one-worker-process-per-MAC engine kept as the byte-identity
+    #: reference.  Both produce byte-identical results — the choice is
+    #: performance-only — but like ``scheduler`` it is part of the cached
+    #: identity so a cache hit records which engine produced it.
+    mac_engine: str = "flat"
 
     def __post_init__(self) -> None:
         if self.model not in (MODEL_SENSOR, MODEL_WIFI, MODEL_DUAL):
@@ -252,6 +261,11 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; "
                 f"expected one of {SCHEDULER_MODES}"
+            )
+        if self.mac_engine not in MAC_ENGINES:
+            raise ValueError(
+                f"unknown MAC engine {self.mac_engine!r}; "
+                f"expected one of {MAC_ENGINES}"
             )
         if self.topology is not None and self.topology.kind not in TOPOLOGIES:
             raise ValueError(
@@ -498,7 +512,7 @@ def _build_low_stack(
     for node in range(config.n_nodes):
         radio = LowPowerRadio(sim, node, low_spec, medium, meters[node])
         built.low_radios.append(radio)
-        built.low_macs.append(SensorCsmaMac(sim, radio))
+        built.low_macs.append(SensorCsmaMac(sim, radio, engine=config.mac_engine))
     engine = config.routing_engine()
     with phase("routing_build"):
         if config.propagation is not None:
@@ -542,7 +556,7 @@ def _build_high_stack(
         )
         radio = HighPowerRadio(sim, node, spec, medium, meters[node])
         built.high_radios.append(radio)
-        built.high_macs.append(DcfMac(sim, radio))
+        built.high_macs.append(DcfMac(sim, radio, engine=config.mac_engine))
     engine = config.routing_engine()
     with phase("routing_build"):
         if config.high_radios is None and config.propagation is None:
@@ -780,6 +794,7 @@ def _collect_counters(built: _BuiltNetwork) -> dict[str, float]:
         bump("mac.retransmissions", mac.retransmissions)
         bump("mac.sent_failed", mac.sent_failed)
         bump("mac.queue_drops", mac.queue_drops)
+        bump("mac.acks_dropped", mac.acks_dropped)
     for agent in built.agents:
         if isinstance(agent, BcpAgent):
             stats = agent.stats

@@ -133,8 +133,19 @@ def git_rev(directory: str | pathlib.Path = ".") -> str:
     return rev if out.returncode == 0 and rev else "local"
 
 
-def run_case(case: BenchCase, repeats: int | None = None) -> CaseResult:
-    """Measure one case: untimed setup, then best-of-``repeats`` runs."""
+def run_case(
+    case: BenchCase,
+    repeats: int | None = None,
+    profile_dir: str | pathlib.Path | None = None,
+) -> CaseResult:
+    """Measure one case: untimed setup, then best-of-``repeats`` runs.
+
+    With ``profile_dir``, one *extra* round runs under :mod:`cProfile`
+    after the timed ones and its stats land in
+    ``<profile_dir>/<case>.pstats`` (load with :mod:`pstats` or snakeviz).
+    The profiled round is never timed: profiling overhead would poison the
+    recorded walls, so the artifact rides along without touching them.
+    """
     state = case.setup()
     rounds = max(1, repeats if repeats is not None else case.repeats)
     best = float("inf")
@@ -149,6 +160,17 @@ def run_case(case: BenchCase, repeats: int | None = None) -> CaseResult:
         elapsed = time.perf_counter() - start
         if elapsed < best:
             best = elapsed
+    if profile_dir is not None:
+        import cProfile
+
+        target = pathlib.Path(profile_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        gc.collect()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        case.run(state)
+        profiler.disable()
+        profiler.dump_stats(str(target / f"{case.name}.pstats"))
     return CaseResult(wall_s=best, repeats=rounds, ops=ops)
 
 
@@ -157,14 +179,19 @@ def run_suite(
     repeats: int | None = None,
     rev: str | None = None,
     log: typing.Callable[[str], None] | None = None,
+    profile_dir: str | pathlib.Path | None = None,
 ) -> BenchReport:
-    """Run every case of ``suite`` and evaluate the ratio gates."""
+    """Run every case of ``suite`` and evaluate the ratio gates.
+
+    ``profile_dir`` (optional) additionally captures one cProfile round
+    per case as ``<profile_dir>/<case>.pstats`` — see :func:`run_case`.
+    """
     cases = bench_cases(suite)
     results: dict[str, CaseResult] = {}
     for case in cases:
         if log is not None:
             log(f"[bench] {case.name}: {case.summary} ...")
-        result = run_case(case, repeats=repeats)
+        result = run_case(case, repeats=repeats, profile_dir=profile_dir)
         results[case.name] = result
         if log is not None:
             log(

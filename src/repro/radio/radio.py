@@ -39,6 +39,7 @@ from repro.energy.meter import (
     CATEGORY_TX,
     CATEGORY_WAKEUP,
     EnergyMeter,
+    NodeMeter,
     PowerIntegrator,
 )
 from repro.energy.radio_specs import RadioSpec
@@ -162,7 +163,9 @@ class RadioPort:
 
     def airtime(self, frame: Frame) -> float:
         """On-air duration for ``frame`` including any preamble."""
-        return self.preamble_s + frame.total_bits / self.rate_bps
+        return self.preamble_s + (
+            frame.payload_bits + frame.header_bits
+        ) / self.spec.rate_bps
 
     def transmit(self, frame: Frame) -> Event:
         """Put ``frame`` on the air; the returned event fires at end-of-frame.
@@ -176,13 +179,14 @@ class RadioPort:
             raise SimulationError(
                 f"node {self.node_id} {self.component}: transmit while busy"
             )
-        self._check_can_transmit()
+        if self._checks_tx_state:
+            self._check_can_transmit()
         self._transmitting = True
         self.frames_tx += 1
         duration = self.airtime(frame)
         self._begin_tx_accounting(duration)
         self.medium.note_state(self)
-        end_event = self.medium.transmit(self, frame)
+        end_event = self.medium.transmit(self, frame, duration)
         # The end event is the medium's Timeout for exactly ``duration``
         # (``Timeout.delay``), so the bound method needs no closure — one
         # less allocation per frame.
@@ -195,6 +199,12 @@ class RadioPort:
         self.medium.note_state(self)
 
     # -- hooks for subclasses ----------------------------------------------
+
+    #: Whether ``transmit`` consults :meth:`_check_can_transmit`; radio
+    #: classes that override the hook must set this True.  Gating on a
+    #: class attribute spares the always-on radio a no-op method call on
+    #: every frame.
+    _checks_tx_state = False
 
     def _check_can_transmit(self) -> None:
         """Raise if the radio is in a state that cannot transmit."""
@@ -228,15 +238,33 @@ class RadioPort:
 class LowPowerRadio(RadioPort):
     """The always-on sensor radio (event-based energy accounting)."""
 
+    #: Cached ``(row, column)`` into the meter bank's TX column, filled
+    #: after the first charge (see ``_begin_tx_accounting``).
+    _tx_fast: tuple[int, list[float]] | None = None
+
     @property
     def is_listening(self) -> bool:
         return not self._transmitting
 
     def _begin_tx_accounting(self, duration: float) -> None:
         # Charged up front; the amount is fixed once the frame is committed.
-        self.meter.charge(
-            self.spec.p_tx_w * duration, self.component, CATEGORY_TX
-        )
+        fast = self._tx_fast
+        if fast is not None:
+            # The first charge below stamped this node's first-seq for the
+            # TX column and fixed the column's identity, so every later
+            # charge is a single in-place add.  The charge is p_tx * dt
+            # with both factors non-negative, so the bank's sign check is
+            # vacuous here.
+            row, column = fast
+            column[row] += self.spec.p_tx_w * duration
+            return
+        meter = self.meter
+        meter.charge(self.spec.p_tx_w * duration, self.component, CATEGORY_TX)
+        if type(meter) is NodeMeter:
+            self._tx_fast = (
+                meter.index,
+                meter.bank._energy[(self.component, CATEGORY_TX)],
+            )
 
     def _end_tx_accounting(self, duration: float) -> None:
         return None
@@ -340,6 +368,8 @@ class HighPowerRadio(RadioPort):
         self._integrator.flush()
 
     # -- energy hooks --------------------------------------------------------
+
+    _checks_tx_state = True
 
     def _check_can_transmit(self) -> None:
         if not self.is_on:

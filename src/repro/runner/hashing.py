@@ -34,7 +34,12 @@ import typing
 #: v5: ScenarioConfig grew the ``scheduler`` agenda selector (heap /
 #: calendar).  Results are byte-identical across backends, but the field
 #: is part of the canonicalized config, so pre-field keys are retired.
-CACHE_SCHEMA_VERSION = 5
+#: v6: ScenarioConfig grew the ``mac_engine`` selector (flat /
+#: generator), and MAC runs now report a ``mac.acks_dropped`` counter —
+#: the counters dict is part of the digested result, so paper-scenario
+#: golden digests were consciously re-pinned in the same change (both
+#: engines × both schedulers reproduce the new digests byte-identically).
+CACHE_SCHEMA_VERSION = 6
 
 
 def _canonicalize(value: typing.Any) -> typing.Any:

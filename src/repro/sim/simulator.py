@@ -25,7 +25,9 @@ Two further kernel optimizations ride on the loop:
 * **Cancelled-event discard** — events killed via
   :meth:`Event.cancel() <repro.sim.events.Event.cancel>` are dropped at
   pop time, undelivered and uncounted in ``events_processed``, instead
-  of being dispatched dead.
+  of being dispatched dead.  A cancelled ``Timeout`` that nothing else
+  references (the flat MAC engine's abandoned ack timers) feeds the same
+  free-list as a dispatched one.
 """
 
 from __future__ import annotations
@@ -89,6 +91,7 @@ class Simulator:
         "_scheduler",
         "_push",
         "_calendar",
+        "_heap",
         "_active_process",
         "events_processed",
         "events_cancelled",
@@ -107,6 +110,13 @@ class Simulator:
         self._calendar = (
             self._scheduler
             if type(self._scheduler) is CalendarScheduler
+            else None
+        )
+        # Non-None only for the heap backend: timeout() inlines the
+        # heappush (keep in sync with HeapScheduler.push, like _run_heap).
+        self._heap = (
+            self._scheduler
+            if type(self._scheduler) is HeapScheduler
             else None
         )
         self._active_process: Process | None = None
@@ -169,6 +179,14 @@ class Simulator:
             event._cancelled = False
             event.delay = delay
         when = self._now + delay
+        heap = self._heap
+        if heap is not None:
+            # Inlined HeapScheduler.push (keep in sync): one method call
+            # per timer is measurable at contention scale.
+            seq = heap._sequence
+            heap._sequence = seq + 1
+            heapq.heappush(heap._queue, (when, NORMAL, seq, event))
+            return event
         calendar = self._calendar
         if calendar is not None and when == calendar._memo_t:
             # Memo hit: another timer for the bucket the last push went
@@ -219,6 +237,14 @@ class Simulator:
         """Insert a triggered event into the agenda (kernel internal)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
+        heap = self._heap
+        if heap is not None:
+            # Inlined HeapScheduler.push (keep in sync) — succeed()/hop
+            # traffic makes this as hot as timeout().
+            seq = heap._sequence
+            heap._sequence = seq + 1
+            heapq.heappush(heap._queue, (self._now + delay, priority, seq, event))
+            return
         self._push(self._now + delay, priority, event)
 
     def peek(self) -> float:
@@ -342,6 +368,17 @@ class Simulator:
                 when, _priority, _seq, event = pop(queue)
                 if event._cancelled:
                     self.events_cancelled += 1
+                    # Cancelled timeouts recycle too (same refcount proof
+                    # as below).  Their callbacks never ran, so the list
+                    # is non-empty and must be cleared; _cancelled is the
+                    # one extra flag to reset.  This is what lets the flat
+                    # MAC's cancelled ack timers feed the free-list — the
+                    # generator engine's AnyOf still references its timer
+                    # here (refcount 3), so it keeps falling through.
+                    if type(event) is timeout_type and getrefcount(event) == 2:
+                        event.callbacks.clear()
+                        event._cancelled = False
+                        pool.append(event)
                     continue
                 self._now = when
                 self.events_processed += 1
@@ -414,6 +451,14 @@ class Simulator:
                         break
                     if event._cancelled:
                         cancelled += 1
+                        # Cancelled-timeout recycle — see _run_heap.
+                        if (
+                            type(event) is timeout_type
+                            and getrefcount(event) == 2
+                        ):
+                            event.callbacks.clear()
+                            event._cancelled = False
+                            pool.append(event)
                         continue
                     self._now = when
                     processed += 1

@@ -37,9 +37,16 @@ GOLDEN_RATE = 2000.0
 #: sha256 of the canonical serialization of the golden sweep's results.
 #: Pinned on purpose: regressions in determinism or silent semantic
 #: drift in the simulator must be LOUD.  Re-pin only with a schema bump.
-GOLDEN_DIGEST = "362c1ba17a5b91d8e1732a82e009785269b50362cab6384db0126c9c88cf215a"
+#: Re-pinned with CACHE_SCHEMA_VERSION 6: MAC runs now export a
+#: ``mac.acks_dropped`` counter (the previously silent half-duplex ACK
+#: drop), which is part of the digested counters dict.  Every delivery,
+#: energy figure and pre-existing counter is byte-identical to the v5
+#: goldens; only the new key changed the serialization.  Both MAC
+#: engines × both schedulers reproduce these digests (asserted below).
+GOLDEN_DIGEST = "f6a136749dadd377938a50c314f7c2b945021fafceaa10e5f51211735d3f0d6e"
 
-#: Same contract for the prototype testbed path.
+#: Same contract for the prototype testbed path.  Unchanged by the v6
+#: re-pin: the prototype path builds no MACs.
 GOLDEN_PROTOTYPE_DIGEST = (
     "bc80e69b5ff25ed8d99a7a399fd4af2a03b0df2c72ec4a2fb6f2d5241cc41cee"
 )
@@ -47,9 +54,9 @@ GOLDEN_PROTOTYPE_DIGEST = (
 #: Same contract for the scenario-composition axes: one non-grid scenario
 #: (random topology + log-normal shadowing + mixed radios + traffic mix),
 #: pinned so the generated-deployment and propagation code paths cannot
-#: drift silently either.
+#: drift silently either.  Re-pinned with v6 (``mac.acks_dropped``).
 GOLDEN_COMPOSED_DIGEST = (
-    "35153c5b6ad1a250e738ab84f745883f9b39819a16907241e154f823ec42fced"
+    "cbc69a0e7d02edf4c04b523e2c4331321aa23c1a765df9f29b0d6901bd0977a3"
 )
 
 
@@ -114,7 +121,20 @@ class TestGoldenDigest:
             results_digest([run_scenario(config)]) == GOLDEN_COMPOSED_DIGEST
         )
 
-    def test_schedulers_byte_identical_on_paper_grid_cell(self):
+    def test_composed_scenario_generator_mac_matches_pinned_digest(self):
+        # The MAC engine is performance-only too: the historical generator
+        # engine must reproduce the SAME pinned bytes as the flat default.
+        import dataclasses
+
+        config = dataclasses.replace(composed_config(), mac_engine="generator")
+        assert (
+            results_digest([run_scenario(config)]) == GOLDEN_COMPOSED_DIGEST
+        )
+
+    def test_schedulers_and_mac_engines_byte_identical_on_paper_grid_cell(self):
+        # The full engine × scheduler grid on a paper cell collapses to
+        # one digest: agenda backend and MAC engine are both
+        # performance-only axes.
         import dataclasses
 
         from repro.models.scenario import single_hop_config
@@ -122,11 +142,20 @@ class TestGoldenDigest:
         config = single_hop_config(
             n_senders=3, burst_packets=10, rate_bps=2000.0, sim_time_s=10.0
         )
-        heap = run_scenario(config)
-        calendar = run_scenario(
-            dataclasses.replace(config, scheduler="calendar")
-        )
-        assert results_digest([calendar]) == results_digest([heap])
+        digests = {
+            results_digest(
+                [
+                    run_scenario(
+                        dataclasses.replace(
+                            config, mac_engine=engine, scheduler=scheduler
+                        )
+                    )
+                ]
+            )
+            for engine in ("flat", "generator")
+            for scheduler in ("heap", "calendar")
+        }
+        assert len(digests) == 1
 
     def test_digest_is_sensitive_to_results(self):
         sweep = golden_sweep(SweepRunner(backend=SerialBackend()))

@@ -116,6 +116,7 @@ class TestScenarioFieldSensitivity:
         "traffic_mix": ((1, "poisson"),),
         "routing": "lazy",
         "scheduler": "calendar",
+        "mac_engine": "generator",
     }
 
     @staticmethod

@@ -67,6 +67,17 @@ class TestHarness:
     def test_repeats_override(self):
         assert run_case(_tiny_case(), repeats=5).repeats == 5
 
+    def test_profile_dir_writes_pstats(self, tmp_path):
+        import pstats
+
+        profile_dir = tmp_path / "prof"
+        result = run_case(_tiny_case(), profile_dir=str(profile_dir))
+        # The profiled round is extra and untimed: the recorded result
+        # still reflects the plain timed repeats.
+        assert result.repeats == 2
+        stats = pstats.Stats(str(profile_dir / "tiny.pstats"))
+        assert stats.total_calls > 0
+
     def test_suite_selection(self):
         smoke = {case.name for case in bench_cases("smoke")}
         full = {case.name for case in bench_cases("full")}
@@ -281,6 +292,27 @@ class TestBenchCli:
         assert "regression" in err
         # the report is still written for inspection
         assert (tmp_path / "BENCH_rev-two.json").exists()
+
+    def test_profile_flag_dumps_pstats(self, tmp_path, monkeypatch, capsys):
+        import repro.perf.suite as suite_module
+
+        monkeypatch.setattr(suite_module, "all_cases", lambda: (_tiny_case(),))
+        profile_dir = tmp_path / "prof"
+        code = main(
+            [
+                "bench",
+                "--output-dir",
+                str(tmp_path),
+                "--no-write",
+                "--baseline",
+                "none",
+                "--profile",
+                str(profile_dir),
+            ]
+        )
+        assert code == 0
+        assert (profile_dir / "tiny.pstats").exists()
+        assert "profiles:" in capsys.readouterr().out
 
     def test_foreign_host_baseline_skips_wall_gate(
         self, tmp_path, monkeypatch, capsys
