@@ -27,9 +27,17 @@ k candidates per cell neighborhood instead of O(n²) — and serves
   scheme.  Asymmetric audibility (heterogeneous reaches) disables the
   merge entirely and keeps singleton groups.
 
-The index is invalidation-free by construction: it is built lazily after
-the last :meth:`Medium.register` call and the inputs (layout positions,
-port ranges, per-run propagation gains) never change afterwards.
+On the no-fault path the index never invalidates: it is built lazily
+after the last :meth:`Medium.register` call and the inputs (layout
+positions, port ranges, per-run propagation gains) never change
+afterwards.  Fault injection relaxes that with *incremental epoch
+repair*: :meth:`retire_node` / :meth:`restore_node` (node churn) and
+:meth:`set_link` (scripted link up/down) refilter only the affected
+nodes' neighbor tuples from a pristine snapshot and repartition the
+audibility groups — the O(n · k) spatial/propagation pass is never
+re-run, and a full retire → restore round trip restores every structure
+to exactly the fresh-build state (pinned by a hypothesis property in
+``tests/test_faults_churn.py``).
 """
 
 from __future__ import annotations
@@ -116,36 +124,61 @@ class NeighborIndex:
             self._neighbor_ranks[node] = tuple(order[i] for i in found)
             self._members[node] = frozenset(found)
 
-        # Audibility groups for carrier sensing.  Merging is only sound
-        # when audibility is symmetric: the per-rank busy count equals
-        # |{active t : t.sender in N(u) | {u}}| (the union term is the
-        # sender's own half-duplex increment), and with u in N(s) <=> s in
-        # N(u) that count depends on u only through the closed set
-        # N(u) | {u} — ranks sharing it can share one counter.  Any
-        # asymmetric link breaks the equivalence, so heterogeneous-reach
-        # deployments fall back to one singleton group per rank, which
-        # reproduces the historical per-rank refcounts exactly.
+        #: Node ids in registration (rank) order; epoch repair iterates
+        #: this to reproduce the build's dict-insertion orders exactly.
+        self._node_order: tuple[int, ...] = tuple(ports)
+        self._rank_of: dict[int, int] = order
+        #: Currently retired (powered-down) node ids.
+        self.retired: set[int] = set()
+        #: Scripted-down undirected links as ``(min_id, max_id)`` pairs.
+        self._links_down: set[tuple[int, int]] = set()
+        #: Pristine neighbor tuples, snapshotted lazily on the first
+        #: retire/set_link call; None on the (common) no-fault path.
+        self._pristine: dict[int, tuple[int, ...]] | None = None
+        self._busy_groups: dict[int, tuple[int, ...]] = {}
+        self._rebuild_groups()
+
+    def _rebuild_groups(self) -> None:
+        """(Re)partition carrier-sense audibility groups from ``_members``.
+
+        Audibility groups for carrier sensing.  Merging is only sound
+        when audibility is symmetric: the per-rank busy count equals
+        |{active t : t.sender in N(u) | {u}}| (the union term is the
+        sender's own half-duplex increment), and with u in N(s) <=> s in
+        N(u) that count depends on u only through the closed set
+        N(u) | {u} — ranks sharing it can share one counter.  Any
+        asymmetric link breaks the equivalence, so heterogeneous-reach
+        deployments fall back to one singleton group per rank, which
+        reproduces the historical per-rank refcounts exactly.
+
+        Runs once at construction and again after every epoch repair
+        (retirement only filters closed sets, so a symmetric deployment
+        stays symmetric); iteration order is the registration order, so a
+        repaired partition is id-for-id the one a fresh build computes.
+        """
         members = self._members
+        node_order = self._node_order
         symmetric = all(
             node in members[other]
             for node, audible in members.items()
             for other in audible
         )
         n = len(self.ports_by_rank)
-        self._busy_groups: dict[int, tuple[int, ...]] = {}
+        busy_groups = self._busy_groups
+        busy_groups.clear()
         if symmetric:
             group_ids: dict[frozenset[int], int] = {}
             group_of = [
                 group_ids.setdefault(frozenset(members[node] | {node}), len(group_ids))
-                for node in ports
+                for node in node_order
             ]
             self.n_groups = len(group_ids)
-            for rank, node in enumerate(ports):
+            for rank, node in enumerate(node_order):
                 # Distinct groups covering the closed audible set; a group
                 # intersecting it is wholly inside it (same closed sets),
                 # so each member port's count moves by exactly one when
                 # the group's counter does.
-                self._busy_groups[node] = tuple(
+                busy_groups[node] = tuple(
                     dict.fromkeys(
                         [group_of[rank]]
                         + [group_of[r] for r in self._neighbor_ranks[node]]
@@ -154,10 +187,116 @@ class NeighborIndex:
         else:
             group_of = list(range(n))
             self.n_groups = n
-            for rank, node in enumerate(ports):
-                self._busy_groups[node] = (rank,) + self._neighbor_ranks[node]
+            for rank, node in enumerate(node_order):
+                busy_groups[node] = (rank,) + self._neighbor_ranks[node]
         #: Rank → audibility-group id (carrier-sense reads index this).
         self.group_of_rank: list[int] = group_of
+
+    # -- epoch repair (fault injection) --------------------------------------
+
+    def _ensure_pristine(self) -> dict[int, tuple[int, ...]]:
+        pristine = self._pristine
+        if pristine is None:
+            # The values are the build's immutable tuples, so the snapshot
+            # is one dict copy — O(n) pointers, taken once per run at most.
+            pristine = self._pristine = dict(self._neighbors)
+        return pristine
+
+    def _link_up(self, a: int, b: int) -> bool:
+        links_down = self._links_down
+        if not links_down:
+            return True
+        return ((a, b) if a < b else (b, a)) not in links_down
+
+    def _refilter(self, nodes: typing.Iterable[int]) -> None:
+        """Recompute ``nodes``' neighbor structures from the pristine
+        snapshot minus retired nodes and downed links.
+
+        Filtering the pristine tuple preserves registration order, so a
+        node whose retirement is later undone reappears at exactly its
+        original position — the invariant the retire → restore ==
+        fresh-build property rests on.
+        """
+        pristine = self._ensure_pristine()
+        retired = self.retired
+        rank_of = self._rank_of
+        for node in sorted(nodes, key=rank_of.__getitem__):
+            if node in retired:
+                # A retired node is deaf as well as mute — emptying its
+                # own set keeps audibility symmetric, so the group merge
+                # stays in force for the surviving fleet.
+                alive: tuple[int, ...] = ()
+            else:
+                alive = tuple(
+                    other
+                    for other in pristine[node]
+                    if other not in retired and self._link_up(node, other)
+                )
+            self._neighbors[node] = alive
+            self._neighbor_ranks[node] = tuple(rank_of[i] for i in alive)
+            self._members[node] = frozenset(alive)
+
+    def retire_node(self, node_id: int) -> None:
+        """Take ``node_id`` off the air: scrub it from every audible set.
+
+        Incremental: only the node and its pristine neighbors are
+        refiltered, then the group partition is recomputed — no spatial
+        query or propagation call re-runs.  The medium (which owns the
+        busy refcounts) replays them against the repaired groups.
+
+        Raises
+        ------
+        ValueError
+            If the node is already retired.
+        KeyError
+            If the node was never indexed.
+        """
+        if node_id in self.retired:
+            raise ValueError(f"node {node_id} is already retired")
+        pristine = self._ensure_pristine()
+        touched = pristine[node_id]  # KeyError for unknown nodes
+        self.retired.add(node_id)
+        self._refilter((node_id, *touched))
+        self._rebuild_groups()
+
+    def restore_node(self, node_id: int) -> None:
+        """Put a retired ``node_id`` back on the air (inverse of
+        :meth:`retire_node`).
+
+        Raises
+        ------
+        ValueError
+            If the node is not currently retired.
+        """
+        if node_id not in self.retired:
+            raise ValueError(f"node {node_id} is not retired")
+        self.retired.discard(node_id)
+        self._refilter((node_id, *self._pristine[node_id]))
+        self._rebuild_groups()
+
+    def set_link(self, a: int, b: int, up: bool) -> None:
+        """Force the undirected ``a`` ↔ ``b`` link down (or back up).
+
+        Muting a pair that was never audible is a harmless no-op on the
+        neighbor sets; re-raising a link that is not down is a
+        :class:`ValueError` (scripted fault plans should not double-fire).
+        """
+        if a == b:
+            raise ValueError(f"link endpoints must differ, got {a} twice")
+        pristine = self._ensure_pristine()
+        if a not in pristine or b not in pristine:
+            raise KeyError(a if a not in pristine else b)
+        key = (a, b) if a < b else (b, a)
+        if up:
+            if key not in self._links_down:
+                raise ValueError(f"link {key} is not down")
+            self._links_down.discard(key)
+        else:
+            if key in self._links_down:
+                raise ValueError(f"link {key} is already down")
+            self._links_down.add(key)
+        self._refilter((a, b))
+        self._rebuild_groups()
 
     def neighbors(self, node_id: int) -> tuple[int, ...]:
         """Audible nodes for ``node_id``, in registration order."""

@@ -41,8 +41,10 @@ Performance
 The medium never schedules per-neighbour events: one start and one end
 event per transmission.  Audible sets come from a
 :class:`~repro.channel.index.NeighborIndex` built once after registration
-(layouts are immutable, so the index never invalidates mid-run), and both
-hot paths are batched over its registration-order rank arrays:
+(layouts are immutable, so on the no-fault path the index never
+invalidates mid-run; fault injection instead *repairs* it in place — see
+"Topology epochs" below), and both hot paths are batched over its
+registration-order rank arrays:
 
 * **Carrier sense is an O(1) read.**  ``transmit`` increments and
   ``_finish`` decrements one busy refcount per *audibility group* (ports
@@ -64,6 +66,21 @@ hot paths are batched over its registration-order rank arrays:
   golden digests are unchanged; heterogeneous port stacks (mixed radio
   classes, specs or meters) fall back to the historical per-port loop
   with identical behaviour.
+
+Topology epochs
+---------------
+Fault injection makes the fleet mortal without touching the no-fault hot
+path.  :meth:`retire_node` / :meth:`restore_node` (node churn) and
+:meth:`set_link` (scripted link up/down) bump :attr:`topology_epoch` and
+repair state incrementally: the neighbor index refilters only the
+affected audible sets (:meth:`NeighborIndex.retire_node`), in-flight
+frames from a dying sender are *aborted* (their end event still pops,
+but end-of-frame processing is skipped — no delivery, no charges), and
+the busy refcounts are replayed over the surviving active records
+against the repaired audibility groups — the same replay
+:meth:`_build_index` runs for a mid-flight registration.  Routing tables
+consume the epoch through their own ``invalidate_epoch`` API; a run that
+never injects a fault never executes any of this.
 """
 
 from __future__ import annotations
@@ -136,6 +153,7 @@ class Transmission:
         "busy_groups",
         "interferers",
         "deaf_ranks",
+        "aborted",
     )
 
     def __init__(
@@ -170,6 +188,11 @@ class Transmission:
         #: start (they missed the preamble and cannot sync, mirroring the
         #: unicast ``receiver_listening`` snapshot); None when all heard it.
         self.deaf_ranks: frozenset[int] | None = None
+        #: Set by :meth:`Medium.retire_node` when the sender dies
+        #: mid-frame: the end event still pops, but ``_finish`` skips
+        #: end-of-frame processing entirely (the busy-refcount replay
+        #: already excluded the record).
+        self.aborted = False
 
     def __call__(self, _event: typing.Any) -> None:
         medium = self.medium
@@ -276,6 +299,14 @@ class Medium:
         #: node ids — run constants while the port set is stable; cleared
         #: on registration with the index (see :meth:`_interferes`).
         self._interferes_memo: dict[tuple[int, int, int], bool] = {}
+        #: Bumped by every retire/restore/set_link; routing tables compare
+        #: against it to decide whether their memos are stale.  A no-fault
+        #: run leaves it at 0 forever.
+        self.topology_epoch = 0
+        #: Source of truth for fault state: a mid-run ``register`` nulls
+        #: the index, so the rebuild must reapply these to the fresh one.
+        self._retired: set[int] = set()
+        self._links_down: set[tuple[int, int]] = set()
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_collided = 0
@@ -320,15 +351,25 @@ class Medium:
         from repro.radio.radio import HighPowerRadio, LowPowerRadio, RadioPort
 
         index = NeighborIndex(self.layout, self._ports, self.propagation)
+        # Reapply fault state to the fresh index: a register() after a
+        # retire must not resurrect the retired node's audibility.
+        for node_id in sorted(self._retired):
+            index.retire_node(node_id)
+        for a, b in sorted(self._links_down):
+            index.set_link(a, b, up=False)
         ports = index.ports_by_rank
         for rank, port in enumerate(ports):
             port._medium_rank = rank
         self._listening = [port.is_listening for port in ports]
         # Busy refcounts replay the increments of whatever is still on the
         # air (registration mid-flight rebuilds audibility, so each active
-        # record's rank and group tuples are refreshed alongside).
+        # record's rank and group tuples are refreshed alongside).  Aborted
+        # records are dead weight awaiting their end event and hold no
+        # refcounts.
         busy = [0] * index.n_groups
         for record in self._active:
+            if record.aborted:
+                continue
             sender_id = record.sender.node_id
             record.busy_ranks = index.neighbor_ranks(sender_id)
             record.busy_groups = groups = index.busy_groups(sender_id)
@@ -420,6 +461,106 @@ class Medium:
             return False
         return self._busy[self._busy_group_of[port._medium_rank]] > 0
 
+    # -- topology epochs ---------------------------------------------------
+
+    def retire_node(self, node_id: int) -> None:
+        """Take ``node_id`` off the air: abort its in-flight frames and
+        repair audibility, busy refcounts and the listening bitmap.
+
+        The port stays registered — :meth:`restore_node` brings it back.
+        Callers power down the node's radio/MAC first, so its
+        ``is_listening`` already reads False by the time delivery looks.
+        """
+        if node_id not in self._ports:
+            raise KeyError(node_id)
+        if node_id in self._retired:
+            raise ValueError(f"node {node_id} is already retired")
+        self._retired.add(node_id)
+        for record in self._active:
+            if not record.aborted and record.sender.node_id == node_id:
+                record.aborted = True
+        index = self._index
+        if index is None:
+            # No index yet: the next build reapplies ``_retired`` wholesale.
+            self.topology_epoch += 1
+            return
+        index.retire_node(node_id)
+        rank = self._ports[node_id]._medium_rank
+        self._listening[rank] = False
+        promiscuous = self._promiscuous
+        if promiscuous is not None and rank in promiscuous:
+            promiscuous.discard(rank)
+            self._promiscuous_sorted = None
+        self._repair_after_topology_change(index)
+
+    def restore_node(self, node_id: int) -> None:
+        """Bring a retired ``node_id`` back on the air."""
+        if node_id not in self._ports:
+            raise KeyError(node_id)
+        if node_id not in self._retired:
+            raise ValueError(f"node {node_id} is not retired")
+        self._retired.discard(node_id)
+        index = self._index
+        if index is None:
+            self.topology_epoch += 1
+            return
+        index.restore_node(node_id)
+        port = self._ports[node_id]
+        rank = port._medium_rank
+        self._listening[rank] = port.is_listening
+        if port.promiscuous and self._promiscuous is not None:
+            self._promiscuous.add(rank)
+            self._promiscuous_sorted = None
+        self._repair_after_topology_change(index)
+
+    def set_link(self, a: int, b: int, up: bool) -> None:
+        """Force the ``a``–``b`` link down (or back up) regardless of range."""
+        if a == b:
+            raise ValueError(f"link endpoints must differ, got {a} twice")
+        if a not in self._ports:
+            raise KeyError(a)
+        if b not in self._ports:
+            raise KeyError(b)
+        key = (a, b) if a < b else (b, a)
+        if up:
+            if key not in self._links_down:
+                raise ValueError(f"link {a}-{b} is not down")
+            self._links_down.discard(key)
+        else:
+            if key in self._links_down:
+                raise ValueError(f"link {a}-{b} is already down")
+            self._links_down.add(key)
+        index = self._index
+        if index is None:
+            self.topology_epoch += 1
+            return
+        index.set_link(a, b, up=up)
+        self._repair_after_topology_change(index)
+
+    def _repair_after_topology_change(self, index: NeighborIndex) -> None:
+        """Replay busy refcounts against the repaired audibility groups.
+
+        The same replay :meth:`_build_index` runs for a mid-flight
+        registration: surviving records refresh their rank/group tuples,
+        aborted ones hold nothing.  The interference memo is cleared
+        wholesale — verdicts between surviving nodes would stay valid,
+        but faults are rare enough that a cold memo beats proving which
+        triples survived.
+        """
+        busy = [0] * index.n_groups
+        for record in self._active:
+            if record.aborted:
+                continue
+            sender_id = record.sender.node_id
+            record.busy_ranks = index.neighbor_ranks(sender_id)
+            record.busy_groups = groups = index.busy_groups(sender_id)
+            for group in groups:
+                busy[group] += 1
+        self._busy = busy
+        self._busy_group_of = index.group_of_rank
+        self._interferes_memo.clear()
+        self.topology_epoch += 1
+
     # -- transmission ------------------------------------------------------
 
     def transmit(
@@ -463,6 +604,7 @@ class Medium:
             record.busy_groups = ()
             record.interferers = None
             record.deaf_ranks = None
+            record.aborted = False
         else:
             record = Transmission(
                 self,
@@ -630,6 +772,11 @@ class Medium:
     def _finish(self, record: Transmission) -> None:
         """End-of-frame: deliver (or not) and charge receiver-side energy."""
         self._active.remove(record)
+        if record.aborted:
+            # The sender died mid-frame: the topology repair already
+            # dropped this record's busy refcounts and nobody decodes a
+            # truncated frame, so there is nothing to deliver or charge.
+            return
         sender = record.sender
         busy = self._busy
         if busy is not None:

@@ -54,11 +54,13 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 import typing
 
 from repro.channel.propagation import PROPAGATION, PropagationSpec
 from repro.energy.radio_specs import TABLE_1, get_spec
+from repro.faults import FaultPlan
 from repro.models.scenario import (
     RadioAssignment,
     ScenarioConfig,
@@ -848,6 +850,18 @@ def _run_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--sim-time", type=float, default=150.0, help="simulated seconds per run"
     )
+    parser.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON fault schedule (FaultPlan keys: crashes, recoveries, "
+            "links_down, links_up, crash_rate_per_node_s, mean_downtime_s, "
+            "battery_capacity_j, battery_overrides, battery_poll_s, "
+            "protect_sink); the run reports faults.* lifetime counters"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=1, help="base random seed")
     parser.add_argument(
         "--jobs", type=int, default=None, help="worker processes (0 = all cores)"
@@ -911,6 +925,9 @@ def _run_config(args: argparse.Namespace) -> ScenarioConfig:
             scheduler=args.scheduler,
             mac_engine=args.mac_engine,
         )
+        if args.faults is not None:
+            with open(args.faults) as handle:
+                changes["faults"] = FaultPlan.from_dict(json.load(handle))
         if args.traffic_mix is not None:
             changes["traffic_mix"] = _parse_pairs(args.traffic_mix, "--traffic-mix")
         if args.low_radio is not None:

@@ -153,6 +153,7 @@ class BcpStats:
         "packets_submitted",
         "packets_buffered",
         "packets_dropped_buffer",
+        "packets_unroutable",
         "packets_sent",
         "packets_lost_mac",
         "packets_received",
@@ -172,6 +173,7 @@ class BcpStats:
         self.packets_submitted = 0
         self.packets_buffered = 0
         self.packets_dropped_buffer = 0
+        self.packets_unroutable = 0
         self.packets_sent = 0
         self.packets_lost_mac = 0
         self.packets_received = 0
@@ -326,7 +328,15 @@ class BcpAgent:
             self.stats.packets_delivered += 1
             self.deliver(packet)
             return
-        next_hop = self._data_next_hop(packet.dst)
+        try:
+            next_hop = self._data_next_hop(packet.dst)
+        except RoutingError:
+            # A partitioned source (the sink, or every relay toward it,
+            # is dead this epoch) drops at ingestion — counted, never a
+            # crash.  Unreachable without fault injection: scenario
+            # construction validates sender connectivity up front.
+            self.stats.packets_unroutable += 1
+            return
         if self.buffer.push(next_hop, packet):
             self.stats.packets_buffered += 1
             if self.config.max_delay_s is not None:

@@ -61,6 +61,25 @@ class Battery:
             )
         self.remaining_j -= joules
 
+    def try_drain(self, joules: float) -> bool:
+        """Remove up to ``joules``, clamping at empty; True when depleted.
+
+        The non-throwing counterpart of :meth:`drain` for the fault
+        injector's death path: an overdraw consumes whatever charge was
+        left (the final partial joule is accounted, not lost to an
+        exception) and leaves the battery exactly at zero.
+
+        Raises
+        ------
+        ValueError
+            If ``joules`` is negative.
+        """
+        if joules < 0:
+            raise ValueError(f"cannot drain negative energy {joules!r}")
+        remaining = self.remaining_j - joules
+        self.remaining_j = remaining if remaining > 0.0 else 0.0
+        return self.remaining_j <= 0.0
+
     def lifetime_s(self, average_power_w: float) -> float:
         """Projected lifetime of the *remaining* charge at a constant draw."""
         if average_power_w <= 0:

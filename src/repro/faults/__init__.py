@@ -1,0 +1,12 @@
+"""Fault injection: node churn, battery deaths, and lifetime metrics.
+
+See :mod:`repro.faults.plan` for the declarative schedule format,
+:mod:`repro.faults.injector` for the runtime machinery, and
+:mod:`repro.faults.lifetime` for the network-lifetime bookkeeping.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.lifetime import LifetimeMonitor
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan", "LifetimeMonitor"]

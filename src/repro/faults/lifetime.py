@@ -1,0 +1,78 @@
+"""Network-lifetime bookkeeping for faulted runs.
+
+The paper motivates dual radios with node *lifetime*; once the fleet is
+mortal, the scalar that matters is when the network stops being a
+network.  :class:`LifetimeMonitor` records the classic lifetime metrics —
+time of first node death, delivery at that instant, and how many
+topology epochs left some live sender partitioned from the sink — as
+plain floats that surface in ``RunResult.counters`` under ``faults.*``.
+
+Sentinels are ``-1.0`` rather than ``inf`` (a run nobody died in has
+``first_death_s == -1.0``) so the values stay JSON-round-trippable
+through the result cache.
+"""
+
+from __future__ import annotations
+
+
+class LifetimeMonitor:
+    """Accumulates death/recovery/partition history during one run."""
+
+    def __init__(self) -> None:
+        #: Time of the first node death; -1.0 if every node survived.
+        self.first_death_s = -1.0
+        #: Sink-delivered bits at the moment of first death; -1.0 if none.
+        self.delivered_bits_at_first_death = -1.0
+        #: Node id of the first death; -1 if every node survived.
+        self.first_death_node = -1
+        self.deaths = 0
+        self.battery_deaths = 0
+        self.recoveries = 0
+        self.link_changes = 0
+        #: Topology epochs observed (every kill/revive/link flip is one).
+        self.epochs = 0
+        #: Epochs in which some live sender could not reach the sink.
+        self.partitioned_epochs = 0
+
+    def note_death(
+        self, now_s: float, node: int, cause: str, delivered_bits: float
+    ) -> None:
+        """Record one node death (``cause`` is ``"scripted"``,
+        ``"churn"`` or ``"battery"``)."""
+        self.deaths += 1
+        if cause == "battery":
+            self.battery_deaths += 1
+        if self.first_death_s < 0:
+            self.first_death_s = now_s
+            self.first_death_node = node
+            self.delivered_bits_at_first_death = float(delivered_bits)
+
+    def note_recovery(self) -> None:
+        """Record one node revival."""
+        self.recoveries += 1
+
+    def note_link_change(self) -> None:
+        """Record one scripted link transition."""
+        self.link_changes += 1
+
+    def note_epoch(self, partitioned: bool) -> None:
+        """Record one topology epoch and its partition status."""
+        self.epochs += 1
+        if partitioned:
+            self.partitioned_epochs += 1
+
+    def counters(self) -> dict[str, float]:
+        """The monitor's metrics as ``faults.*`` counter entries."""
+        return {
+            "faults.first_death_s": self.first_death_s,
+            "faults.first_death_node": float(self.first_death_node),
+            "faults.delivered_bits_at_first_death": (
+                self.delivered_bits_at_first_death
+            ),
+            "faults.deaths": float(self.deaths),
+            "faults.battery_deaths": float(self.battery_deaths),
+            "faults.recoveries": float(self.recoveries),
+            "faults.link_changes": float(self.link_changes),
+            "faults.epochs": float(self.epochs),
+            "faults.partitioned_epochs": float(self.partitioned_epochs),
+        }

@@ -1,0 +1,185 @@
+"""Declarative fault schedules: what dies, when, and how.
+
+A :class:`FaultPlan` is plain frozen data — hashable, canonicalizable by
+the runner's config hashing, and round-trippable through JSON for the
+CLI's ``--faults`` flag.  It describes three independent fault sources:
+
+* **Scripted events** — exact ``(time, node)`` crash/recovery pairs and
+  ``(time, a, b)`` link transitions.  Deterministic regardless of seed;
+  the regression tests and the ``churn-1k`` bench case use these.
+* **Random churn** — a Poisson process of node crashes at
+  ``crash_rate_per_node_s`` per node, with exponentially distributed
+  downtimes (``mean_downtime_s``; zero means crashed nodes stay dead).
+  Drawn from the simulator's ``"faults.schedule"`` stream, so churn is a
+  pure function of the scenario seed.
+* **Battery depletion** — give every node (or listed nodes) a finite
+  :class:`~repro.energy.battery.Battery` and poll the live
+  :class:`~repro.energy.meter.MeterBank` columns every
+  ``battery_poll_s``; a node whose cumulative radio draw exhausts its
+  reservoir dies for good.
+
+The zero plan (``FaultPlan()``) is inert by construction: scenario
+execution only installs a :class:`~repro.faults.injector.FaultInjector`
+for non-trivial plans, so the no-fault path — and every pinned golden
+digest — is untouched byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """One scenario's fault schedule.  All fields are plain data.
+
+    Attributes
+    ----------
+    crashes:
+        Scripted ``(time_s, node_id)`` node deaths.
+    recoveries:
+        Scripted ``(time_s, node_id)`` node revivals.  A recovery for a
+        node that is alive at that time is an error at runtime — scripts
+        are exact, not advisory.
+    links_down / links_up:
+        Scripted ``(time_s, a, b)`` link transitions, applied to every
+        channel.  A downed link mutes both directions; routing tables are
+        *not* rebuilt around it (static routing over a lossy link is the
+        physically honest model — frames on the link simply never arrive).
+    crash_rate_per_node_s:
+        Poisson crash intensity per node per second (0 = no random churn).
+    mean_downtime_s:
+        Mean of the exponential downtime after a random crash; 0 means
+        randomly crashed nodes never recover.
+    battery_capacity_j:
+        Give *every* node a battery of this capacity (None = no fleet
+        batteries).
+    battery_overrides:
+        ``(node_id, capacity_j)`` pairs; listed nodes get their own
+        capacity whether or not a fleet capacity is set.
+    battery_poll_s:
+        Period of the battery-drain poll.
+    protect_sink:
+        Exempt the sink from random churn and battery death (scripted
+        events may still target it explicitly).
+    """
+
+    crashes: tuple[tuple[float, int], ...] = ()
+    recoveries: tuple[tuple[float, int], ...] = ()
+    links_down: tuple[tuple[float, int, int], ...] = ()
+    links_up: tuple[tuple[float, int, int], ...] = ()
+    crash_rate_per_node_s: float = 0.0
+    mean_downtime_s: float = 0.0
+    battery_capacity_j: float | None = None
+    battery_overrides: tuple[tuple[int, float], ...] = ()
+    battery_poll_s: float = 1.0
+    protect_sink: bool = True
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan schedules nothing — no injector is built."""
+        return (
+            not self.crashes
+            and not self.recoveries
+            and not self.links_down
+            and not self.links_up
+            and self.crash_rate_per_node_s == 0.0
+            and self.battery_capacity_j is None
+            and not self.battery_overrides
+        )
+
+    def validate(self, n_nodes: int) -> None:
+        """Check the plan against a deployment of ``n_nodes`` nodes.
+
+        Raises
+        ------
+        ValueError
+            On out-of-range nodes, negative times/rates, self-links, or a
+            non-positive poll period / battery capacity.
+        """
+        for label, events in (("crashes", self.crashes),
+                              ("recoveries", self.recoveries)):
+            for time_s, node in events:
+                if time_s < 0:
+                    raise ValueError(f"{label}: negative time {time_s!r}")
+                if not 0 <= node < n_nodes:
+                    raise ValueError(
+                        f"{label}: node {node} outside fleet of {n_nodes}"
+                    )
+        for label, events in (("links_down", self.links_down),
+                              ("links_up", self.links_up)):
+            for time_s, a, b in events:
+                if time_s < 0:
+                    raise ValueError(f"{label}: negative time {time_s!r}")
+                if a == b:
+                    raise ValueError(f"{label}: self-link {a}--{b}")
+                for node in (a, b):
+                    if not 0 <= node < n_nodes:
+                        raise ValueError(
+                            f"{label}: node {node} outside fleet of {n_nodes}"
+                        )
+        if self.crash_rate_per_node_s < 0:
+            raise ValueError(
+                f"negative crash rate {self.crash_rate_per_node_s!r}"
+            )
+        if self.mean_downtime_s < 0:
+            raise ValueError(f"negative mean downtime {self.mean_downtime_s!r}")
+        if self.battery_capacity_j is not None and self.battery_capacity_j <= 0:
+            raise ValueError(
+                f"battery capacity must be positive, "
+                f"got {self.battery_capacity_j!r}"
+            )
+        seen: set[int] = set()
+        for node, capacity in self.battery_overrides:
+            if not 0 <= node < n_nodes:
+                raise ValueError(
+                    f"battery_overrides: node {node} outside fleet of {n_nodes}"
+                )
+            if node in seen:
+                raise ValueError(
+                    f"battery_overrides lists node {node} more than once"
+                )
+            seen.add(node)
+            if capacity <= 0:
+                raise ValueError(
+                    f"battery_overrides: capacity must be positive for node "
+                    f"{node}, got {capacity!r}"
+                )
+        if self.battery_poll_s <= 0:
+            raise ValueError(
+                f"battery_poll_s must be positive, got {self.battery_poll_s!r}"
+            )
+
+    def to_dict(self) -> dict[str, typing.Any]:
+        """JSON-ready mapping (tuples become lists)."""
+        out = dataclasses.asdict(self)
+        for key, value in out.items():
+            if isinstance(value, tuple):
+                out[key] = [list(item) for item in value]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping[str, typing.Any]) -> "FaultPlan":
+        """Build a plan from a JSON-decoded mapping (the CLI's format).
+
+        Raises
+        ------
+        ValueError
+            On unknown keys, so a typo in a fault file fails loudly
+            instead of silently scheduling nothing.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown FaultPlan keys {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        kwargs: dict[str, typing.Any] = {}
+        for key, value in data.items():
+            if isinstance(value, list):
+                kwargs[key] = tuple(tuple(item) for item in value)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)

@@ -121,6 +121,9 @@ class ContentionMac:
         #: ACKs abandoned because the radio was not ready after SIFS (the
         #: half-duplex race documented on :meth:`_transmit_ack`).
         self.acks_dropped = 0
+        #: Frames dropped (queued or in flight) because :meth:`power_down`
+        #: killed the node; only fault injection moves this.
+        self.power_down_drops = 0
         if engine == ENGINE_GENERATOR:
             sim.process(self._worker(), name=self.name)
         else:
@@ -156,6 +159,10 @@ class ContentionMac:
     def send(self, frame: Frame) -> Event:
         """Enqueue ``frame``; the event resolves True/False on completion."""
         done = self.sim.event()
+        if self._powered_down:
+            self.power_down_drops += 1
+            done.succeed(False)
+            return done
         if len(self._queue) >= self.params.queue_capacity:
             self.queue_drops += 1
             done.succeed(False)
@@ -187,7 +194,7 @@ class ContentionMac:
 
     def _radio_ready(self) -> bool:
         """Whether the radio can transmit right now (subclass hook)."""
-        return not self.radio.is_transmitting
+        return not self._powered_down and not self.radio.is_transmitting
 
     # -- generator engine ------------------------------------------------------
 
@@ -372,8 +379,19 @@ class ContentionMac:
         self._ack_pool: list[Event] = []
         self._hop_event: Event | None = None
         self._hop_callbacks: list | None = None
+        # Fault-injection handles on the in-flight continuation: the
+        # pending SIFS/backoff timer and the radio end event our callback
+        # rides on.  Both are cleared at the TOP of their callbacks — the
+        # kernel recycles dispatched timeouts through a free-list gated on
+        # refcount, so a ref held across the dispatch would block reuse
+        # (and a stale one could cancel an innocent recycled timer).
+        self._flat_timer: Event | None = None
+        self._flat_tx_end: Event | None = None
 
     def _on_start(self, event: Event) -> None:
+        if self._powered_down:
+            # Killed before the construction-time start event popped.
+            return
         if not self._queue and not self._ack_queue:
             # Nothing to do yet: park on the wakeup event without paying
             # for the full wiring (the overwhelmingly common case in a
@@ -391,6 +409,7 @@ class ContentionMac:
                 self._ack_in_progress = True
                 timer = self._timeout(self._sifs_s)
                 timer.callbacks.append(self._sifs_cb)
+                self._flat_timer = timer
                 return
             if self._queue:
                 frame, done = self._queue.popleft()
@@ -422,6 +441,7 @@ class ContentionMac:
     # ACK transmission (see _transmit_ack for the half-duplex race note).
 
     def _on_sifs(self, event: Event) -> None:
+        self._flat_timer = None
         if not self._radio_ready():
             self.acks_dropped += 1
             self._cur_ack = None
@@ -431,8 +451,10 @@ class ContentionMac:
         end = self.radio.transmit(self._cur_ack)
         self._cur_ack = None
         end.callbacks.append(self._ack_tx_end_cb)
+        self._flat_tx_end = end
 
     def _on_ack_tx_end(self, event: Event) -> None:
+        self._flat_tx_end = None
         self._ack_in_progress = False
         self._resume_loop()
 
@@ -452,8 +474,10 @@ class ContentionMac:
         slots = self._randrange(self._cur_window)
         timer = self._timeout(self._difs_s + slots * self._slot_s)
         timer.callbacks.append(self._backoff_cb)
+        self._flat_timer = timer
 
     def _on_backoff(self, event: Event) -> None:
+        self._flat_timer = None
         if self._is_busy_for(self._node_id):
             window = self._cur_window
             self._cur_window = min(window * 2, max(self._busy_cap, window))
@@ -464,8 +488,10 @@ class ContentionMac:
             return
         end = self.radio.transmit(self._cur_frame)
         end.callbacks.append(self._tx_end_cb)
+        self._flat_tx_end = end
 
     def _on_tx_end(self, event: Event) -> None:
+        self._flat_tx_end = None
         if not self._cur_needs_ack:
             self._finish_frame(True)
             return
@@ -527,6 +553,7 @@ class ContentionMac:
             hop._value = None
         else:
             hop._processed = False
+            hop._cancelled = False
             hop._value = None
             hop.callbacks = self._hop_callbacks
         self.sim._enqueue(hop, delay=0.0, priority=NORMAL)
@@ -566,6 +593,90 @@ class ContentionMac:
         if not done.triggered:
             done.succeed(success)
         self._resume_loop()
+
+    # -- fault injection -------------------------------------------------------
+
+    #: Class attribute (see ``RadioPort._powered_down``): the never-faulted
+    #: MAC pays no per-instance slot for it.
+    _powered_down = False
+
+    def power_down(self) -> None:
+        """Kill the MAC (fault injection): halt the engine and drop frames.
+
+        Queued and in-flight frames resolve their completion events False
+        (counted in ``power_down_drops``) so upper layers see drops
+        instead of waiting forever.  The flat engine halts immediately:
+        its pending SIFS/backoff timer and ack plumbing are cancelled via
+        ``Event.cancel`` and its continuation is detached from any
+        in-flight radio end event.  The generator engine cannot be
+        cancelled mid-yield, so its current contention cycle runs to the
+        ``_radio_ready`` gate (a handful of residual timer events, no
+        transmissions) and the worker then parks on a wakeup that can no
+        longer arrive.  Idempotent.
+        """
+        if self._powered_down:
+            return
+        self._powered_down = True
+        drops = 0
+        if self.engine == ENGINE_FLAT and self._flat_wired:
+            timer = self._flat_timer
+            if timer is not None:
+                self._flat_timer = None
+                timer.cancel()
+            timer = self._ack_timer
+            if timer is not None:
+                self._ack_timer = None
+                timer.cancel()
+            end = self._flat_tx_end
+            if end is not None:
+                # The medium still finishes the (aborted) frame; only our
+                # continuation must not run.  Cancelling the shared end
+                # event would also kill the medium's record processing.
+                self._flat_tx_end = None
+                callbacks = end.callbacks
+                if callbacks is not None:
+                    if self._tx_end_cb in callbacks:
+                        callbacks.remove(self._tx_end_cb)
+                    elif self._ack_tx_end_cb in callbacks:
+                        callbacks.remove(self._ack_tx_end_cb)
+            hop = self._hop_event
+            if hop is not None:
+                # No-op unless an ack-wait continuation is mid-hop
+                # (_enqueue_hop resets the mark on reuse).
+                hop.cancel()
+            done = self._cur_done
+            if done is not None:
+                self._cur_frame = None
+                self._cur_done = None
+                drops += 1
+                if not done.triggered:
+                    done.succeed(False)
+            self._cur_ack = None
+            self._cur_key = None
+            self._ack_event = None
+            self._resolved = None
+            self._ack_in_progress = False
+        for _frame, done in self._queue:
+            drops += 1
+            if not done.triggered:
+                done.succeed(False)
+        self._queue.clear()
+        self._ack_queue.clear()
+        self._pending_ack.clear()
+        self.power_down_drops += drops
+        if self.engine == ENGINE_FLAT:
+            # Re-park on a fresh wakeup so power_up's kick restarts the
+            # machine (it halted without reaching _resume_loop's park).
+            # The generator worker owns its own parking and is left alone.
+            self._wakeup = self.sim.event()
+            self._wakeup.callbacks.append(self._on_wakeup)
+
+    def power_up(self) -> None:
+        """Undo :meth:`power_down`; the engine resumes on the next kick."""
+        if not self._powered_down:
+            return
+        self._powered_down = False
+        self._kick()
 
     # -- receive path ----------------------------------------------------------
 

@@ -70,6 +70,7 @@ from repro.energy.radio_specs import (
     RadioSpec,
     get_spec,
 )
+from repro.faults import FaultInjector, FaultPlan
 from repro.mac.base import MAC_ENGINES
 from repro.mac.csma import SensorCsmaMac
 from repro.mac.dcf import DcfMac
@@ -248,6 +249,13 @@ class ScenarioConfig:
     #: performance-only — but like ``scheduler`` it is part of the cached
     #: identity so a cache hit records which engine produced it.
     mac_engine: str = "flat"
+    #: Fault schedule (:mod:`repro.faults`): scripted node crashes and
+    #: recoveries, link up/down events, random churn, battery-depletion
+    #: deaths.  ``None`` (and the zero plan ``FaultPlan()``) leave the
+    #: run immortal and execute none of the fault machinery — the pinned
+    #: golden digests cover exactly that path.  Part of the cached
+    #: identity like every other axis.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.model not in (MODEL_SENSOR, MODEL_WIFI, MODEL_DUAL):
@@ -308,6 +316,8 @@ class ScenarioConfig:
                     raise ValueError(f"high_radios node {node} is not deployed")
             for name in self.high_radios.names():
                 get_spec(name)  # raises KeyError listing valid names
+        if self.faults is not None:
+            self.faults.validate(n_nodes)
 
     @property
     def n_nodes(self) -> int:
@@ -422,6 +432,11 @@ class _BuiltNetwork:
         self.sources: list[typing.Any] = []
         self.collector: SinkCollector | None = None
         self.mediums: list[Medium] = []
+        #: Routing tables by tier name ("low"/"high") and the chosen
+        #: sender set — recorded for the fault injector's epoch
+        #: invalidation and partition checks.
+        self.route_tables: dict[str, RoutingLike] = {}
+        self.senders: list[int] = []
 
 
 def select_senders(config: ScenarioConfig, sim: Simulator) -> list[int]:
@@ -709,7 +724,9 @@ def build_network(config: ScenarioConfig, sim: Simulator) -> _BuiltNetwork:
                 )
             )
 
+    built.route_tables = route_tables
     senders = select_senders(config, sim)
+    built.senders = senders
     _check_sender_routes(config, senders, route_tables)
     for sender in senders:
         source = build_source(
@@ -823,6 +840,12 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
     sim = Simulator(seed=config.seed, scheduler=config.scheduler)
     with phase("network_build"):
         built = build_network(config, sim)
+    # A zero/absent plan skips the injector entirely: the no-fault path
+    # builds no batteries, schedules no events and adds no counters, so
+    # the pinned golden digests are untouched byte for byte.
+    injector = None
+    if config.faults is not None and not config.faults.is_zero:
+        injector = FaultInjector(sim, config, built, config.faults)
     with phase("sim_loop"):
         sim.run(until=config.sim_time_s)
     generated = float(
@@ -830,6 +853,9 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
     )
     collector = built.collector
     assert collector is not None
+    counters = _collect_counters(built)
+    if injector is not None:
+        counters.update(injector.counters())
     return RunResult(
         model=config.model,
         sim_time_s=config.sim_time_s,
@@ -838,7 +864,7 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
         mean_delay_s=collector.mean_delay_s,
         max_delay_s=collector.max_delay_s,
         energy_j=_collect_energy(config, built),
-        counters=_collect_counters(built),
+        counters=counters,
         mean_hops=collector.mean_hops,
     )
 

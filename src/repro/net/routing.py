@@ -58,6 +58,12 @@ from repro.topology.layout import Layout
 TIE_THREADED = "threaded"
 TIE_PER_DESTINATION = "per-destination"
 
+#: Parent-array sentinel for a dead (retired) node: distinguishable from
+#: ``-1`` (not settled / unreachable) so the BFS skips dead nodes without
+#: any extra membership test on the hot path, while every query still
+#: reads it as "no route" (< 0).  Only fault injection writes it.
+_DEAD = -2
+
 
 class RoutingError(Exception):
     """Raised when no route exists for a requested (src, dst) pair."""
@@ -76,6 +82,38 @@ def destination_rng(tie_seed: int, dst: int) -> random.Random:
 
 class _QueryMixin:
     """The query API shared by both engines (next_hop/hops/path/...)."""
+
+    #: Topology epoch the current trees were computed against (0 =
+    #: pristine build; only :meth:`invalidate_epoch` moves it).
+    epoch: int = 0
+    #: Currently-dead node ids / CSR indexes (empty on the no-fault path).
+    _dead: frozenset[int] = frozenset()
+    _dead_idx: frozenset[int] = frozenset()
+
+    def invalidate_epoch(
+        self, epoch: int, dead: typing.Iterable[int] = ()
+    ) -> None:
+        """Drop every memoized tree and recompute against ``dead`` nodes.
+
+        ``dead`` is the full set of currently-retired node ids (not a
+        delta); an unknown id is ignored, matching how queries treat
+        unknown ids.  Dead nodes neither originate, relay, nor terminate
+        routes — their rows read as unreachable.  Only fault injection
+        calls this, so the no-fault hot paths never see a non-empty set.
+        """
+        raise NotImplementedError
+
+    def _resolve_dead(
+        self, epoch: int, dead: typing.Iterable[int]
+    ) -> frozenset[int]:
+        """Shared invalidation bookkeeping; returns the dead CSR indexes."""
+        self.epoch = epoch
+        self._dead = frozenset(dead)
+        csr = self.adjacency
+        self._dead_idx = frozenset(
+            csr.index(node) for node in self._dead if node in csr
+        )
+        return self._dead_idx
 
     def has_route(self, src: int, dst: int) -> bool:
         """Whether a path from ``src`` to ``dst`` exists."""
@@ -203,14 +241,28 @@ class RoutingTable(_QueryMixin):
         csr = self.adjacency
         indptr, indices = csr.indptr, csr.indices
         n = len(csr.ids)
+        dead_idx = self._dead_idx
         threaded_rng = self._rng if self._tie_seed is None else None
         for dst_idx in range(n):
+            if dead_idx and dst_idx in dead_idx:
+                # A dead destination terminates nothing: every source
+                # reads unreachable without running the BFS.
+                self._parents.append([-1] * n)
+                self._depths.append([-1] * n)
+                continue
             if self._tie_seed is not None:
                 rng = destination_rng(self._tie_seed, csr.ids[dst_idx])
             else:
                 rng = threaded_rng
             parent = [-1] * n
             depth = [-1] * n
+            if dead_idx:
+                # Pre-marking dead nodes as the _DEAD sentinel excludes
+                # them from relaying (the == -1 settle test skips them)
+                # with zero membership tests inside the hot loops; the
+                # sentinel stays negative so queries read "no route".
+                for i in dead_idx:
+                    parent[i] = _DEAD
             parent[dst_idx] = dst_idx
             depth[dst_idx] = 0
             frontier = [dst_idx]
@@ -221,7 +273,7 @@ class RoutingTable(_QueryMixin):
                     if rng is None:
                         for j in range(indptr[node], indptr[node + 1]):
                             neighbor = indices[j]
-                            if parent[neighbor] < 0:
+                            if parent[neighbor] == -1:
                                 parent[neighbor] = node
                                 depth[neighbor] = node_depth
                                 next_frontier.append(neighbor)
@@ -233,13 +285,28 @@ class RoutingTable(_QueryMixin):
                         order = indices[indptr[node] : indptr[node + 1]]
                         rng.shuffle(order)
                         for neighbor in order:
-                            if parent[neighbor] < 0:
+                            if parent[neighbor] == -1:
                                 parent[neighbor] = node
                                 depth[neighbor] = node_depth
                                 next_frontier.append(neighbor)
                 frontier = next_frontier
             self._parents.append(parent)
             self._depths.append(depth)
+
+    def invalidate_epoch(
+        self, epoch: int, dead: typing.Iterable[int] = ()
+    ) -> None:
+        """Rebuild every destination tree minus the ``dead`` nodes.
+
+        Eager engine: the whole table is recomputed (O(n · (V+E)) again).
+        With a threaded rng the rebuild consumes fresh draws from the
+        shared stream — acceptable because epochs only move on the fault
+        path, where no golden digest applies.
+        """
+        self._resolve_dead(epoch, dead)
+        self._parents = []
+        self._depths = []
+        self._build()
 
     @property
     def node_ids(self) -> tuple[int, ...]:
@@ -273,11 +340,15 @@ class RoutingTable(_QueryMixin):
             raise RoutingError(f"node {src} routing to itself")
         indexes = self._pair_indexes(src, dst)
         if indexes is None:
-            raise RoutingError(f"no route from {src} to {dst}")
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
         src_idx, dst_idx = indexes
         hop = self._parents[dst_idx][src_idx]
         if hop < 0:
-            raise RoutingError(f"no route from {src} to {dst}")
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
         return self.adjacency.ids[hop]
 
     next_hop.__doc__ = _QueryMixin.next_hop.__doc__
@@ -287,11 +358,15 @@ class RoutingTable(_QueryMixin):
             return 0
         indexes = self._pair_indexes(src, dst)
         if indexes is None:
-            raise RoutingError(f"no route from {src} to {dst}")
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
         src_idx, dst_idx = indexes
         count = self._depths[dst_idx][src_idx]
         if count < 0:
-            raise RoutingError(f"no route from {src} to {dst}")
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
         return count
 
     hops.__doc__ = _QueryMixin.hops.__doc__
@@ -389,6 +464,19 @@ class LazyRoutingTable(_QueryMixin):
         """Whether ``a`` and ``b`` are directly linked."""
         return self.adjacency.has_edge(a, b)
 
+    def invalidate_epoch(
+        self, epoch: int, dead: typing.Iterable[int] = ()
+    ) -> None:
+        """Drop every memoized tree; queries recompute them on demand.
+
+        Lazy engine: O(1) now, each tree re-derives its per-destination
+        rng stream on first use (identical seed, so a surviving
+        destination's tree is rebuilt bit-identically minus the dead
+        nodes).
+        """
+        self._resolve_dead(epoch, dead)
+        self._trees.clear()
+
     def _tree(self, dst_idx: int) -> _LazyTree:
         """The (possibly partially expanded) tree state for ``dst_idx``."""
         tree = self._trees.get(dst_idx)
@@ -401,6 +489,21 @@ class LazyRoutingTable(_QueryMixin):
             else destination_rng(self._tie_seed, csr.ids[dst_idx])
         )
         tree = _LazyTree(len(csr.ids), dst_idx, rng)
+        dead_idx = self._dead_idx
+        if dead_idx:
+            if dst_idx in dead_idx:
+                # Dead destination: no expansion, everything unreachable.
+                tree.frontier = []
+                tree.parent[dst_idx] = _DEAD
+                tree.depth[dst_idx] = -1
+            else:
+                # Same sentinel trick as the eager build: dead nodes are
+                # never settled as relays, yet still occupy their slot in
+                # every shuffled slice so draw counts stay independent of
+                # liveness.
+                parent = tree.parent
+                for i in dead_idx:
+                    parent[i] = _DEAD
         self._trees[dst_idx] = tree
         self.trees_computed += 1
         return tree
@@ -416,7 +519,7 @@ class LazyRoutingTable(_QueryMixin):
             if rng is None:
                 for j in range(indptr[node], indptr[node + 1]):
                     neighbor = indices[j]
-                    if parent[neighbor] < 0:
+                    if parent[neighbor] == -1:
                         parent[neighbor] = node
                         depth[neighbor] = node_depth
                         next_frontier.append(neighbor)
@@ -427,7 +530,7 @@ class LazyRoutingTable(_QueryMixin):
                 order = indices[indptr[node] : indptr[node + 1]]
                 rng.shuffle(order)
                 for neighbor in order:
-                    if parent[neighbor] < 0:
+                    if parent[neighbor] == -1:
                         parent[neighbor] = node
                         depth[neighbor] = node_depth
                         next_frontier.append(neighbor)
@@ -441,7 +544,9 @@ class LazyRoutingTable(_QueryMixin):
         """
         tree = self._tree(dst_idx)
         parent = tree.parent
-        while parent[src_idx] < 0 and tree.frontier:
+        # == -1 (not < 0): a dead source carries the _DEAD sentinel and
+        # will never settle — expanding its component would be wasted.
+        while parent[src_idx] == -1 and tree.frontier:
             self._expand_level(tree)
         return tree
 
@@ -484,11 +589,15 @@ class LazyRoutingTable(_QueryMixin):
             raise RoutingError(f"node {src} routing to itself")
         indexes = self._pair_indexes(src, dst)
         if indexes is None:
-            raise RoutingError(f"no route from {src} to {dst}")
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
         src_idx, dst_idx = indexes
         hop = self._settled_tree(dst_idx, src_idx).parent[src_idx]
         if hop < 0:
-            raise RoutingError(f"no route from {src} to {dst}")
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
         return self.adjacency.ids[hop]
 
     next_hop.__doc__ = _QueryMixin.next_hop.__doc__
@@ -498,11 +607,15 @@ class LazyRoutingTable(_QueryMixin):
             return 0
         indexes = self._pair_indexes(src, dst)
         if indexes is None:
-            raise RoutingError(f"no route from {src} to {dst}")
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
         src_idx, dst_idx = indexes
         count = self._settled_tree(dst_idx, src_idx).depth[src_idx]
         if count < 0:
-            raise RoutingError(f"no route from {src} to {dst}")
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
         return count
 
     hops.__doc__ = _QueryMixin.hops.__doc__

@@ -141,7 +141,9 @@ def _case_routing_eager_1k() -> BenchCase:
         summary="eager all-pairs routing build, 1k-node uniform deployment",
         setup=setup,
         run=run,
-        repeats=1,
+        # Gate-bearing (25% regression threshold): a single sample lets
+        # one host load spike read as a code regression.
+        repeats=3,
     )
 
 
@@ -585,6 +587,81 @@ def _case_scenario_compose(
     )
 
 
+def _case_churn_1k() -> BenchCase:
+    """The scenario-compose-1k deployment run *mortal*: 10% of the fleet
+    dies on a scripted schedule spread across the window.
+
+    Every death pays the full fault path — MAC/radio power-down, medium
+    epoch repair with busy-refcount replay, lazy routing re-invalidation
+    — so this case gates the cost of topology churn at scale, which no
+    immortal case exercises.
+    """
+
+    def setup():
+        from repro.faults import FaultPlan
+        from repro.models.scenario import ScenarioConfig
+        from repro.topology.registry import TopologySpec
+
+        n = 1000
+        sim_time_s = 30.0
+        # 100 victims spread over node ids (never sink 0), one death
+        # every ~0.27 s of simulated time: the topology is never stable
+        # for long, which is the point.
+        n_deaths = n // 10
+        step = sim_time_s * 0.9 / n_deaths
+        plan = FaultPlan(
+            crashes=tuple(
+                (step * (i + 1), 1 + (i * 9) % (n - 1))
+                for i in range(n_deaths)
+            )
+        )
+        return ScenarioConfig(
+            model=MODEL_DUAL_NAME,
+            topology=TopologySpec.of(
+                "uniform-random",
+                n=n,
+                width_m=_COMPOSE_FIELD_1K,
+                height_m=_COMPOSE_FIELD_1K,
+            ),
+            sink=0,
+            n_senders=10,
+            rate_bps=2000.0,
+            burst_packets=100,
+            sim_time_s=sim_time_s,
+            seed=1,
+            scheduler="calendar",
+            faults=plan,
+        )
+
+    def run(config):
+        from repro.models.scenario import run_scenario
+        from repro.perf.phases import collect_phases
+
+        with collect_phases() as timings:
+            result = run_scenario(config)
+        ops: dict[str, float] = {
+            "nodes": float(config.n_nodes),
+            "deaths": result.counters["faults.deaths"],
+            "epochs": result.counters["faults.epochs"],
+            "delivered_bits": result.delivered_bits,
+            "power_down_drops": result.counters["faults.power_down_drops"],
+        }
+        for name, seconds in timings.items():
+            ops[f"phase.{name}_s"] = seconds
+        return ops
+
+    return BenchCase(
+        name="churn-1k",
+        summary=(
+            "mortal 1k-node collection round: 100 scripted deaths over a "
+            "30 s window (fault path + epoch repair at scale)"
+        ),
+        setup=setup,
+        run=run,
+        repeats=2,
+    )
+
+
 #: ``"dual"`` without importing the model layer at module import time.
 MODEL_DUAL_NAME = "dual"
 
@@ -652,6 +729,15 @@ WALL_BUDGETS = (
         case="sim-loop-10k",
         max_wall_s=20.0,
     ),
+    # The mortal 1k-node round: 100 deaths' worth of epoch repair and
+    # routing invalidation must stay cheap relative to the traffic it
+    # disrupts (measured ~2 s on a dev box; the budget absorbs loaded CI
+    # runners while catching an accidentally quadratic repair path).
+    WallBudget(
+        name="churn-1k-budget",
+        case="churn-1k",
+        max_wall_s=10.0,
+    ),
 )
 
 
@@ -679,6 +765,7 @@ def all_cases() -> tuple[BenchCase, ...]:
         _case_fig_cell_heavy(),
         _case_scenario_compose(1000, _COMPOSE_FIELD_1K),
         _case_scenario_compose(10000, _COMPOSE_FIELD_10K, suites=("full",)),
+        _case_churn_1k(),
     )
 
 

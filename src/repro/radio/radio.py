@@ -198,6 +198,35 @@ class RadioPort:
         self._end_tx_accounting(end_event.delay)
         self.medium.note_state(self)
 
+    # -- fault injection ---------------------------------------------------
+
+    #: Class attribute: the overwhelmingly common never-faulted port pays
+    #: no per-instance slot for it.
+    _powered_down = False
+
+    def power_down(self) -> None:
+        """Kill the radio (fault injection): deaf and mute until
+        :meth:`power_up`.
+
+        Idempotent.  The medium separately aborts any in-flight frame of
+        ours via :meth:`Medium.retire_node`; its end event still pops and
+        :meth:`_end_transmit` then runs against the cleared state, which
+        subclass accounting hooks must tolerate.
+        """
+        if self._powered_down:
+            return
+        self._powered_down = True
+        self._transmitting = False
+        self.medium.note_state(self)
+
+    def power_up(self) -> None:
+        """Undo :meth:`power_down` (a recovering node rejoins deaf-idle;
+        the high-power radio additionally needs a fresh :meth:`wake`)."""
+        if not self._powered_down:
+            return
+        self._powered_down = False
+        self.medium.note_state(self)
+
     # -- hooks for subclasses ----------------------------------------------
 
     #: Whether ``transmit`` consults :meth:`_check_can_transmit`; radio
@@ -244,7 +273,7 @@ class LowPowerRadio(RadioPort):
 
     @property
     def is_listening(self) -> bool:
-        return not self._transmitting
+        return not self._transmitting and not self._powered_down
 
     def _begin_tx_accounting(self, duration: float) -> None:
         # Charged up front; the amount is fixed once the frame is committed.
@@ -320,6 +349,11 @@ class HighPowerRadio(RadioPort):
         derived).  Concurrent wake requests share one transition.
         """
         done = Event(self.sim)
+        if self._powered_down:
+            # A dead radio never reaches IDLE: the event stays pending
+            # forever, parking whatever process awaits it — harmless in
+            # an event-driven kernel (``sim.run(until)`` still returns).
+            return done
         if self.is_on:
             done.succeed()
             return done
@@ -363,6 +397,22 @@ class HighPowerRadio(RadioPort):
         for waiter in waiters:
             waiter.fail(SimulationError("radio was turned off while waking"))
 
+    def power_down(self) -> None:
+        """Fault-injection death: OFF, zero draw, wake waiters parked.
+
+        Waiters are *dropped*, not failed: they belong to the dying
+        node's own processes (BCP yields on its local radio's wake), and
+        failing them would throw into generators that are being killed —
+        an unhandled crash instead of a graceful death.  The parked
+        generators never resume, which is exactly what "dead" means.
+        """
+        if self._powered_down:
+            return
+        self._wake_waiters = []
+        self.state = RadioState.OFF
+        self._integrator.set_power(0.0, CATEGORY_IDLE)
+        super().power_down()
+
     def flush_accounting(self) -> None:
         """Close the open integration segment (call at end of run)."""
         self._integrator.flush()
@@ -383,6 +433,10 @@ class HighPowerRadio(RadioPort):
         self._integrator.set_power(self.spec.p_tx_w, CATEGORY_TX)
 
     def _end_tx_accounting(self, duration: float) -> None:
+        if self._powered_down:
+            # The aborted frame's end event popped after a mid-frame
+            # death; the radio must stay OFF at zero draw.
+            return
         # sleep() is forbidden mid-transmission, so we are still awake here.
         self.state = RadioState.IDLE
         self._integrator.set_power(self.spec.p_idle_w, CATEGORY_IDLE)

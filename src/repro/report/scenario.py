@@ -79,6 +79,47 @@ def _counter_rows(results: typing.Sequence[RunResult]) -> list[list[object]]:
     ]
 
 
+def _lifetime_lines(results: typing.Sequence[RunResult]) -> list[str]:
+    """The network-lifetime block — present only on faulted runs.
+
+    ``faults.*`` counters exist exactly when a non-trivial
+    :class:`~repro.faults.plan.FaultPlan` ran, so fault-free reports are
+    byte-identical to the pre-fault harness.
+    """
+    per_run = [
+        result.counters
+        for result in results
+        if "faults.first_death_s" in result.counters
+    ]
+    if not per_run:
+        return []
+    first_deaths = [
+        c["faults.first_death_s"]
+        for c in per_run
+        if c["faults.first_death_s"] >= 0.0
+    ]
+    n = len(per_run)
+    lines = ["", "network lifetime", "----------------"]
+    if first_deaths:
+        lines.append(
+            f"first death : {format_value(sum(first_deaths) / len(first_deaths))} s "
+            f"mean over {len(first_deaths)}/{n} run(s) with deaths"
+        )
+    else:
+        lines.append("first death : none (every node survived)")
+    for label, key in (
+        ("deaths      ", "faults.deaths"),
+        ("  battery   ", "faults.battery_deaths"),
+        ("recoveries  ", "faults.recoveries"),
+        ("partitioned ", "faults.partitioned_epochs"),
+        ("mac drops   ", "faults.power_down_drops"),
+        ("unroutable  ", "faults.unroutable_drops"),
+    ):
+        total = sum(c.get(key, 0.0) for c in per_run)
+        lines.append(f"{label}: {format_value(total / n)} per run")
+    return lines
+
+
 def render_run_report(
     config: "ScenarioConfig",
     results: typing.Sequence[RunResult],
@@ -112,6 +153,7 @@ def render_run_report(
             f"undelivered : {summary.undelivered_runs}/{summary.n_runs} runs "
             "delivered nothing (excluded from energy)"
         )
+    lines += _lifetime_lines(results)
     counter_rows = _counter_rows(results)
     if counter_rows:
         lines += ["", ""]

@@ -39,7 +39,11 @@ import typing
 #: the counters dict is part of the digested result, so paper-scenario
 #: golden digests were consciously re-pinned in the same change (both
 #: engines × both schedulers reproduce the new digests byte-identically).
-CACHE_SCHEMA_VERSION = 6
+#: v7: ScenarioConfig grew the ``faults`` schedule
+#: (:class:`~repro.faults.plan.FaultPlan`).  The no-fault path is
+#: byte-identical (golden digests unchanged), but the field widens every
+#: config key, so pre-fault keys are retired wholesale.
+CACHE_SCHEMA_VERSION = 7
 
 
 def _canonicalize(value: typing.Any) -> typing.Any:

@@ -157,6 +157,34 @@ class TestGoldenDigest:
         }
         assert len(digests) == 1
 
+    def test_zero_fault_plan_byte_identical_across_engine_grid(self):
+        # A configured-but-empty FaultPlan must be inert: no injector, no
+        # extra counters, no perturbed rng draws — the pinned composed
+        # digest reproduces across the full scheduler × MAC engine grid.
+        import dataclasses
+
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan()
+        assert plan.is_zero
+        digests = {
+            results_digest(
+                [
+                    run_scenario(
+                        dataclasses.replace(
+                            composed_config(),
+                            faults=plan,
+                            mac_engine=engine,
+                            scheduler=scheduler,
+                        )
+                    )
+                ]
+            )
+            for engine in ("flat", "generator")
+            for scheduler in ("heap", "calendar")
+        }
+        assert digests == {GOLDEN_COMPOSED_DIGEST}
+
     def test_digest_is_sensitive_to_results(self):
         sweep = golden_sweep(SweepRunner(backend=SerialBackend()))
         baseline = sweep_digest(sweep)

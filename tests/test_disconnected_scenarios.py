@@ -68,6 +68,37 @@ class TestPartitionedSendersFailFast:
             build_network(config, Simulator(seed=config.seed))
 
 
+class TestRoutingErrorNamesEndpointsAndEpoch:
+    """A partition error must say *which* pair failed and *when*: bare
+    "no route" messages are useless once fault injection makes
+    reachability time-dependent."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_message_includes_src_dst_and_epoch(self, engine):
+        config = _config(
+            n_senders=2,
+            traffic_mix=((1, "cbr"), (2, "cbr")),
+            routing=engine,
+        )
+        built = build_network(config, Simulator(seed=config.seed))
+        table = built.route_tables["low"]
+        with pytest.raises(
+            RoutingError, match=r"no route from 3 to 0 \(topology epoch 0\)"
+        ):
+            table.next_hop(3, 0)
+        # After fault injection bumps the epoch, the message names the
+        # epoch the lookup actually failed in.
+        table.invalidate_epoch(4, dead=(5,))
+        with pytest.raises(
+            RoutingError, match=r"no route from 3 to 0 \(topology epoch 4\)"
+        ):
+            table.next_hop(3, 0)
+        with pytest.raises(
+            RoutingError, match=r"no route from 1 to 5 \(topology epoch 4\)"
+        ):
+            table.next_hop(1, 5)
+
+
 class TestConnectedSubsetRunsBesideIsland:
     """Senders pinned to the sink's island: the run completes, and the
     built tables still raise RoutingError for cross-island pairs."""

@@ -1,0 +1,124 @@
+"""FaultPlan validation, serialization, and scenario integration."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.models.scenario import ScenarioConfig, run_scenario
+
+
+class TestZeroPlan:
+    def test_default_plan_is_zero(self):
+        assert FaultPlan().is_zero
+
+    def test_any_schedule_is_not_zero(self):
+        assert not FaultPlan(crashes=((1.0, 0),)).is_zero
+        assert not FaultPlan(links_down=((1.0, 0, 1),)).is_zero
+        assert not FaultPlan(crash_rate_per_node_s=0.1).is_zero
+        assert not FaultPlan(battery_capacity_j=100.0).is_zero
+        assert not FaultPlan(battery_overrides=((0, 100.0),)).is_zero
+
+    def test_zero_plan_run_reports_no_fault_counters(self):
+        config = ScenarioConfig(
+            model="sensor", sim_time_s=5.0, faults=FaultPlan()
+        )
+        result = run_scenario(config)
+        assert not any(k.startswith("faults.") for k in result.counters)
+
+    def test_faulted_run_reports_fault_counters(self):
+        config = ScenarioConfig(
+            model="sensor",
+            sim_time_s=5.0,
+            faults=FaultPlan(crashes=((1.0, 3),)),
+        )
+        result = run_scenario(config)
+        assert result.counters["faults.deaths"] == 1.0
+        assert result.counters["faults.first_death_s"] == 1.0
+
+    def test_injector_refuses_zero_plan(self):
+        with pytest.raises(ValueError, match="zero FaultPlan"):
+            FaultInjector(None, None, None, FaultPlan())
+
+
+class TestValidation:
+    def test_node_out_of_range(self):
+        with pytest.raises(ValueError, match="outside fleet"):
+            FaultPlan(crashes=((1.0, 36),)).validate(36)
+        with pytest.raises(ValueError, match="outside fleet"):
+            FaultPlan(recoveries=((1.0, -1),)).validate(36)
+        with pytest.raises(ValueError, match="outside fleet"):
+            FaultPlan(links_down=((1.0, 0, 99),)).validate(36)
+        with pytest.raises(ValueError, match="outside fleet"):
+            FaultPlan(battery_overrides=((40, 10.0),)).validate(36)
+
+    def test_negative_times_and_rates(self):
+        with pytest.raises(ValueError, match="negative time"):
+            FaultPlan(crashes=((-1.0, 0),)).validate(4)
+        with pytest.raises(ValueError, match="negative crash rate"):
+            FaultPlan(crash_rate_per_node_s=-0.1).validate(4)
+        with pytest.raises(ValueError, match="negative mean downtime"):
+            FaultPlan(mean_downtime_s=-1.0).validate(4)
+
+    def test_self_link(self):
+        with pytest.raises(ValueError, match="self-link"):
+            FaultPlan(links_up=((1.0, 2, 2),)).validate(4)
+
+    def test_battery_capacity_bounds(self):
+        with pytest.raises(ValueError, match="positive"):
+            FaultPlan(battery_capacity_j=0.0).validate(4)
+        with pytest.raises(ValueError, match="positive"):
+            FaultPlan(battery_overrides=((1, -5.0),)).validate(4)
+        with pytest.raises(ValueError, match="more than once"):
+            FaultPlan(
+                battery_overrides=((1, 5.0), (1, 6.0))
+            ).validate(4)
+        with pytest.raises(ValueError, match="battery_poll_s"):
+            FaultPlan(
+                battery_capacity_j=10.0, battery_poll_s=0.0
+            ).validate(4)
+
+    def test_scenario_config_validates_plan(self):
+        with pytest.raises(ValueError, match="outside fleet"):
+            ScenarioConfig(faults=FaultPlan(crashes=((1.0, 100),)))
+
+    def test_valid_plan_passes(self):
+        FaultPlan(
+            crashes=((1.0, 0),),
+            recoveries=((2.0, 0),),
+            links_down=((1.0, 0, 1),),
+            crash_rate_per_node_s=0.01,
+            mean_downtime_s=5.0,
+            battery_capacity_j=100.0,
+            battery_overrides=((2, 50.0),),
+        ).validate(4)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            crashes=((10.0, 3), (20.0, 7)),
+            recoveries=((30.0, 3),),
+            links_down=((5.0, 0, 1),),
+            crash_rate_per_node_s=0.001,
+            battery_capacity_j=250.0,
+            battery_overrides=((14, 1000.0),),
+            protect_sink=False,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan keys"):
+            FaultPlan.from_dict({"crashs": [[1.0, 0]]})
+
+    def test_plan_is_hashable_config_data(self):
+        # The runner canonicalizes configs into cache keys; a plan must
+        # be plain frozen data, and distinct plans must produce distinct
+        # cell identities.
+        base = ScenarioConfig(sim_time_s=5.0)
+        faulted = dataclasses.replace(
+            base, faults=FaultPlan(crashes=((1.0, 2),))
+        )
+        zeroed = dataclasses.replace(base, faults=FaultPlan())
+        keys = {base.cache_key(), faulted.cache_key(), zeroed.cache_key()}
+        assert len(keys) == 3

@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.channel.propagation import PropagationSpec
 from repro.energy.radio_specs import RadioSpec
+from repro.faults import FaultPlan
 from repro.models.scenario import RadioAssignment, ScenarioConfig
 from repro.runner import ShardSpec, canonical_json, config_key, shard_index
 from repro.topology.registry import TopologySpec
@@ -117,6 +118,7 @@ class TestScenarioFieldSensitivity:
         "routing": "lazy",
         "scheduler": "calendar",
         "mac_engine": "generator",
+        "faults": FaultPlan(crashes=((1.0, 1),)),
     }
 
     @staticmethod

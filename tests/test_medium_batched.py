@@ -200,6 +200,44 @@ class TestFastPathEligibility:
         assert trace == [True, True, False]
         assert all(count == 0 for count in h.medium._busy)
 
+    def test_retire_then_mid_run_register_keeps_refcounts_consistent(self):
+        # Fault-injection interaction: a node retires while frames are in
+        # flight, then a NEW port registers in the same topology epoch.
+        # Registration nulls the memoized index, so the rebuild must
+        # re-apply the retirement AND replay busy refcounts over the
+        # surviving (non-aborted) in-flight transmissions.
+        sim = Simulator(seed=1)
+        layout = line_layout(4, 40.0)
+        medium = Medium(sim, layout, "test")
+        bank = MeterBank(4)
+        radios = {
+            i: LowPowerRadio(sim, i, MICAZ, medium, bank.meter(i))
+            for i in range(3)
+        }
+        radios[0].transmit(data_frame(0, 1, payload_bits=8192))
+        trace = []
+
+        def driver():
+            yield sim.timeout(0.001)
+            radios[2].transmit(data_frame(2, 1, payload_bits=8192))
+            yield sim.timeout(0.001)
+            radios[0].power_down()
+            medium.retire_node(0)  # aborts 0's frame; 2's survives
+            radios[3] = LowPowerRadio(
+                sim, 3, MICAZ, medium, bank.meter(3)
+            )
+            trace.append(medium.is_busy_for(1))  # still hears node 2
+            trace.append(0 in medium.neighbors(1))  # retirement reapplied
+            trace.append(2 in medium.neighbors(3))  # newcomer wired in
+
+        sim.process(driver())
+        sim.run()
+        assert trace == [True, False, True]
+        assert all(count == 0 for count in medium._busy)
+        # ... and the epoch machinery still works on the rebuilt index.
+        medium.restore_node(0)
+        assert 0 in medium.neighbors(1)
+
 
 # -- decision identity: batched fast path vs historical loop ---------------
 
