@@ -1,4 +1,5 @@
-"""CI smoke: one cell of every topology × propagation combination.
+"""CI smoke: one cell of every topology × propagation combination,
+plus one cell per registered routing policy.
 
 Drives the real ``repro run`` CLI (not the library directly) so the whole
 surface — spec parsing, config validation, the cached sweep runner, the
@@ -16,6 +17,7 @@ import tempfile
 
 from repro.channel.propagation import PROPAGATION
 from repro.cli.main import main
+from repro.net.policy import ROUTING_POLICIES
 from repro.runner import ResultCache
 from repro.topology.registry import TOPOLOGIES
 
@@ -39,6 +41,13 @@ PROPAGATION_ARGS = {
     "unit-disc": "unit-disc",
     "log-normal": "log-normal:sigma_db=2",
     "distance-prr": "distance-prr:exponent=6",
+}
+
+#: One cell per routing policy on a dense random deployment (short hops
+#: give the energy policies something to actually choose between).
+ROUTING_POLICY_ARGS = {
+    policy: ["--routing-policy", policy]
+    for policy in ("hops", "tx-energy", "residual-energy")
 }
 
 
@@ -81,6 +90,12 @@ def main_smoke() -> None:
             "smoke matrix out of date: propagation models "
             f"{PROPAGATION.names()} vs covered {sorted(PROPAGATION_ARGS)}"
         )
+    if set(ROUTING_POLICY_ARGS) != set(ROUTING_POLICIES.names()):
+        sys.exit(
+            "smoke matrix out of date: routing policies "
+            f"{ROUTING_POLICIES.names()} vs covered "
+            f"{sorted(ROUTING_POLICY_ARGS)}"
+        )
 
     with tempfile.NamedTemporaryFile(
         "w", suffix=".json", delete=False
@@ -94,6 +109,10 @@ def main_smoke() -> None:
             matrix.append(["--topology", targ, "--propagation", parg])
     for parg in PROPAGATION_ARGS.values():
         matrix.append(["--topology-file", layout_file, "--propagation", parg])
+    for policy_args in ROUTING_POLICY_ARGS.values():
+        matrix.append(
+            ["--topology", TOPOLOGY_ARGS["uniform-random"], *policy_args]
+        )
 
     for cell_args in matrix:
         run_cell(cell_args)

@@ -61,12 +61,15 @@ import typing
 from repro.channel.propagation import PROPAGATION, PropagationSpec
 from repro.energy.radio_specs import TABLE_1, get_spec
 from repro.faults import FaultPlan
+from repro.mac.base import MAC_ENGINES
 from repro.models.scenario import (
     RadioAssignment,
     ScenarioConfig,
     run_replicated,
     run_scenario,
 )
+from repro.net.policy import ROUTING_POLICIES, ROUTING_POLICY_NAMES
+from repro.sim.scheduler import SCHEDULER_MODES
 from repro.models.sweeps import SweepScale, sweep_plan
 from repro.report import figures
 from repro.report.scenario import render_run_report
@@ -661,7 +664,8 @@ def _scenarios_main(argv: typing.Sequence[str]) -> int:
         prog="repro scenarios",
         description=(
             "Inspect the registered scenario-composition axes (topologies, "
-            "propagation models, traffic sources, radios)."
+            "propagation models, traffic sources, radios, schedulers, MAC "
+            "engines, routing policies)."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -710,6 +714,47 @@ def _scenarios_main(argv: typing.Sequence[str]) -> int:
                 f"range {spec.range_m:g} m",
             )
             for name, spec in TABLE_1.items()
+        ],
+    )
+    # Summaries for the plain-tuple axes (no registry to carry them);
+    # keyed by name so registering a new backend without describing it
+    # here fails the listing loudly instead of printing a blank line.
+    scheduler_summaries = {
+        "heap": "binary-heap agenda; the historical byte-identity default",
+        "calendar": (
+            "calendar-queue agenda batching same-timestamp timers; "
+            "byte-identical results"
+        ),
+    }
+    out += section(
+        "schedulers (--scheduler name)",
+        [
+            (name, "", scheduler_summaries[name])
+            for name in SCHEDULER_MODES
+        ],
+    )
+    mac_engine_summaries = {
+        "flat": (
+            "callback state machine with pooled timers (default); "
+            "byte-identical results"
+        ),
+        "generator": (
+            "historical one-worker-process-per-MAC engine (byte-identity "
+            "reference)"
+        ),
+    }
+    out += section(
+        "MAC engines (--mac-engine name)",
+        [
+            (name, "", mac_engine_summaries[name])
+            for name in MAC_ENGINES
+        ],
+    )
+    out += section(
+        "routing policies (--routing-policy name)",
+        [
+            (entry.name, ", ".join(entry.params), entry.summary)
+            for entry in ROUTING_POLICIES.entries()
         ],
     )
     print("\n".join(out).rstrip())
@@ -776,6 +821,17 @@ def _run_parser() -> argparse.ArgumentParser:
             "route-build engine: auto (default) switches from the eager "
             "all-pairs table to the lazy array-backed engine beyond 256 "
             "nodes; eager/lazy force one"
+        ),
+    )
+    parser.add_argument(
+        "--routing-policy",
+        choices=ROUTING_POLICY_NAMES,
+        default="hops",
+        help=(
+            "route metric: hops (default, min-hop BFS), tx-energy "
+            "(distance-dependent transmit energy), or residual-energy "
+            "(tx energy scaled by live battery residual); see 'repro "
+            "scenarios list'"
         ),
     )
     parser.add_argument(
@@ -922,6 +978,7 @@ def _run_config(args: argparse.Namespace) -> ScenarioConfig:
             traffic=args.traffic,
             high_radios=high_radios,
             routing=args.routing,
+            routing_policy=args.routing_policy,
             scheduler=args.scheduler,
             mac_engine=args.mac_engine,
         )

@@ -4,6 +4,7 @@
 * :mod:`repro.energy.meter` — per-category energy accounting.
 * :mod:`repro.energy.breakeven` — Equations 1–5 (the paper's Section 2.1).
 * :mod:`repro.energy.battery` — lifetime extrapolation.
+* :mod:`repro.energy.residual` — flush-then-read live residual queries.
 """
 
 from repro.energy.battery import AA_PAIR_CAPACITY_J, Battery, BatteryDepleted
@@ -32,6 +33,7 @@ from repro.energy.meter import (
 )
 from repro.energy.radio_specs import (
     CABLETRON,
+    FIRST_ORDER_RADIO_MODEL,
     HIGH_POWER_RADIOS,
     LOW_POWER_RADIOS,
     LUCENT_2,
@@ -40,9 +42,13 @@ from repro.energy.radio_specs import (
     MICA2,
     MICAZ,
     TABLE_1,
+    TX_POWER_LEVELS,
+    RadioEnergyModel,
     RadioSpec,
+    TxPowerLevel,
     get_spec,
 )
+from repro.energy.residual import live_consumed_j, live_residual_fraction
 
 __all__ = [
     "AA_PAIR_CAPACITY_J",
@@ -58,6 +64,7 @@ __all__ = [
     "DEFAULT_WAKEUP_MESSAGE_BYTES",
     "DualRadioLink",
     "EnergyMeter",
+    "FIRST_ORDER_RADIO_MODEL",
     "HIGH_POWER_RADIOS",
     "LOW_POWER_RADIOS",
     "LUCENT_11",
@@ -68,8 +75,11 @@ __all__ = [
     "MeterBank",
     "NodeMeter",
     "PowerIntegrator",
+    "RadioEnergyModel",
     "RadioSpec",
     "TABLE_1",
+    "TX_POWER_LEVELS",
+    "TxPowerLevel",
     "breakeven_bits",
     "breakeven_bits_multihop",
     "crossover_bits",
@@ -78,4 +88,6 @@ __all__ = [
     "energy_low",
     "energy_low_multihop",
     "get_spec",
+    "live_consumed_j",
+    "live_residual_fraction",
 ]

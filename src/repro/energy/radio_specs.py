@@ -39,6 +39,80 @@ from repro.units import (
 
 
 @dataclasses.dataclass(frozen=True)
+class RadioEnergyModel:
+    """First-order radio model: ``E_ELEC + E_AMP * d^alpha`` per bit.
+
+    The standard sensor-network abstraction (Heinzelman et al.; the
+    LASensorNetwork lineage): transmitting one bit over distance ``d``
+    costs a fixed electronics term plus an amplifier term growing with
+    the path-loss exponent, while receiving costs the electronics term
+    alone.  It is the distance-*dependent* cost the Table 1 specs cannot
+    express (they bill one nominal power at one nominal range), and it is
+    what makes energy-aware route selection meaningful: a long hop is
+    superlinearly more expensive than two short ones.
+
+    Attributes
+    ----------
+    e_elec_j_per_bit:
+        Transceiver electronics energy per bit (tx and rx sides alike).
+    e_amp_j_per_bit:
+        Amplifier energy per bit per ``m^alpha``.
+    path_loss_exponent:
+        ``alpha``; 2 for free space, up to ~4 for lossy ground-level
+        channels.
+    """
+
+    e_elec_j_per_bit: float = 50e-9
+    e_amp_j_per_bit: float = 100e-12
+    path_loss_exponent: float = 2.0
+
+    def tx_cost_j(self, bits: float, distance_m: float) -> float:
+        """Energy to transmit ``bits`` over ``distance_m`` meters.
+
+        ``distance_m <= 0`` (self-delivery, co-located nodes) degenerates
+        to the electronics term alone.
+        """
+        if distance_m <= 0.0:
+            return self.e_elec_j_per_bit * bits
+        return bits * (
+            self.e_elec_j_per_bit
+            + self.e_amp_j_per_bit * distance_m**self.path_loss_exponent
+        )
+
+    def rx_cost_j(self, bits: float) -> float:
+        """Energy to receive ``bits`` (distance-independent)."""
+        return self.e_elec_j_per_bit * bits
+
+
+#: The literature-standard parameterization (50 nJ/bit electronics,
+#: 100 pJ/bit/m² amplifier, free-space exponent) — the shared flyweight
+#: every energy-aware routing policy uses unless a scenario overrides it.
+FIRST_ORDER_RADIO_MODEL = RadioEnergyModel()
+
+
+@dataclasses.dataclass(frozen=True)
+class TxPowerLevel:
+    """One discrete transmit power setting: draw plus nominal reach."""
+
+    p_tx_w: float
+    range_m: float
+
+
+#: EE662-style discrete transmit-power ladder for the CC2420-class sensor
+#: radio: output-power register steps (datasheet draw at 3 V: 8.5 mA at
+#: -25 dBm up to 17.4 mA at 0 dBm) mapped onto the paper's 40 m nominal
+#: range.  Assign via ``RadioSpec.replace(tx_power_levels=TX_POWER_LEVELS)``;
+#: the default specs keep an empty ladder, so nothing changes unless a
+#: scenario opts in.
+TX_POWER_LEVELS: tuple[TxPowerLevel, ...] = (
+    TxPowerLevel(p_tx_w=mw_to_w(25.5), range_m=10.0),
+    TxPowerLevel(p_tx_w=mw_to_w(33.0), range_m=20.0),
+    TxPowerLevel(p_tx_w=mw_to_w(42.0), range_m=30.0),
+    TxPowerLevel(p_tx_w=mw_to_w(52.2), range_m=40.0),
+)
+
+
+@dataclasses.dataclass(frozen=True)
 class RadioSpec:
     """Static energy/timing characteristics of one radio model.
 
@@ -66,6 +140,11 @@ class RadioSpec:
     payload_bytes / header_bytes:
         Default data-packet payload and header sizes used with this radio
         class (Section 4.1: 32 B sensor packets, 1024 B 802.11 packets).
+    tx_power_levels:
+        Optional discrete transmit-power ladder (EE662-style).  Empty —
+        the default for every Table 1 spec — means the radio always
+        transmits at ``p_tx_w``; non-empty lets the port pick the
+        cheapest level whose reach covers the next hop.
     """
 
     name: str
@@ -80,6 +159,7 @@ class RadioSpec:
     range_m: float = 0.0
     payload_bytes: int = 32
     header_bytes: int = 8
+    tx_power_levels: tuple[TxPowerLevel, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ("low", "high"):
@@ -89,6 +169,12 @@ class RadioSpec:
         for field in ("p_tx_w", "p_rx_w", "p_idle_w", "p_sleep_w", "e_wakeup_j"):
             if getattr(self, field) < 0:
                 raise ValueError(f"{self.name}: {field} must be non-negative")
+        for level in self.tx_power_levels:
+            if level.p_tx_w <= 0 or level.range_m <= 0:
+                raise ValueError(
+                    f"{self.name}: tx power levels need positive power and "
+                    f"range, got {level!r}"
+                )
 
     # -- derived quantities ------------------------------------------------
 
@@ -132,6 +218,20 @@ class RadioSpec:
         """Airtime of one packet (header included)."""
         payload = self.payload_bits if payload_bits is None else payload_bits
         return (payload + self.header_bits) / self.rate_bps
+
+    def tx_power_for_range(self, distance_m: float) -> float:
+        """Cheapest discrete transmit power whose reach covers ``distance_m``.
+
+        Falls back to the nominal ``p_tx_w`` when the ladder is empty or
+        no level reaches far enough (transmitting at full power is the
+        only way to even *attempt* an out-of-ladder hop).
+        """
+        best = None
+        for level in self.tx_power_levels:
+            if level.range_m >= distance_m:
+                if best is None or level.p_tx_w < best:
+                    best = level.p_tx_w
+        return self.p_tx_w if best is None else best
 
     def replace(self, **changes: typing.Any) -> "RadioSpec":
         """Return a copy with ``changes`` applied (delegates to dataclasses)."""

@@ -1,0 +1,58 @@
+"""Live residual-energy reads shared by battery polling and routing.
+
+The one subtlety in reading "how much has node ``n`` consumed so far" is
+that high-power radios account through a :class:`~repro.energy.meter.
+PowerIntegrator`, which bills lazily: energy accrued since the last state
+change sits in the integrator until something flushes it.  Reading the
+:class:`~repro.energy.meter.MeterBank` without flushing first undercounts
+by up to one whole radio-state dwell time.
+
+That flush-then-read sequence used to live only inside the fault
+injector's battery poll.  It is factored out here so battery-death
+detection and the residual-energy routing policy observe *identical*
+values — a node the injector is about to kill looks exactly as depleted
+to the route builder as it does to the battery.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.energy.meter import MeterBank
+
+
+def live_consumed_j(
+    bank: "MeterBank",
+    high_radios: typing.Sequence[typing.Any],
+    node: int,
+) -> float:
+    """Cumulative energy drawn by ``node``, integrators flushed first.
+
+    ``high_radios`` is the built network's node-indexed high-radio list —
+    empty when the scenario has no high tier, in which case there is
+    nothing lazy to flush (low-power radios bill eagerly per event).
+    """
+    if high_radios:
+        high_radios[node].flush_accounting()
+    return bank.total_for(node)
+
+
+def live_residual_fraction(
+    bank: "MeterBank",
+    high_radios: typing.Sequence[typing.Any],
+    node: int,
+    capacity_j: float,
+    floor: float = 1e-6,
+) -> float:
+    """Remaining battery fraction in ``(floor, 1.0]``.
+
+    Clamped below by ``floor`` so cost models dividing by the residual
+    never blow up on an effectively dead node, and above by 1.0 so a
+    node that somehow over-reports capacity cannot look *better* than
+    fresh.
+    """
+    if capacity_j <= 0.0:
+        return floor
+    remaining = capacity_j - live_consumed_j(bank, high_radios, node)
+    return min(1.0, max(remaining / capacity_j, floor))

@@ -34,6 +34,7 @@ from __future__ import annotations
 import typing
 
 from repro.energy.battery import Battery
+from repro.energy.residual import live_consumed_j
 from repro.faults.lifetime import LifetimeMonitor
 from repro.faults.plan import FaultPlan
 
@@ -166,17 +167,28 @@ class FaultInjector:
             if node in self.dead:
                 continue
             pending = True
-            if high_radios:
-                # Bill the open idle/listen integrator segment so a node
-                # that only listens still spends its reservoir.
-                high_radios[node].flush_accounting()
-            total = bank.total_for(node)
+            # live_consumed_j flushes the node's open idle/listen
+            # integrator segment first, so a node that only listens still
+            # spends its reservoir — the same flush-then-read the
+            # residual-energy routing policy uses.
+            total = live_consumed_j(bank, high_radios, node)
             delta = total - self._billed[node]
             self._billed[node] = total
             if delta > 0.0 and self._batteries[node].try_drain(delta):
                 self._kill(node, CAUSE_BATTERY)
         if pending:
+            # Every poll just refreshed the meters; fold the new residual
+            # levels into any dynamic-cost routes so load migrates off
+            # depleting relays *before* they die (no epoch bump — the
+            # topology is unchanged).
+            self._refresh_dynamic_costs()
             self.sim.call_later(self.plan.battery_poll_s, self._poll_batteries)
+
+    def _refresh_dynamic_costs(self) -> None:
+        for table in self.built.route_tables.values():
+            refresh = getattr(table, "refresh_costs", None)
+            if refresh is not None:
+                refresh()
 
     # -- kill / revive ---------------------------------------------------
 

@@ -62,14 +62,17 @@ from repro.channel.propagation import (
 )
 from repro.core.bcp import BcpAgent, BcpNodeSpec
 from repro.core.config import BcpConfig
+from repro.energy.battery import AA_PAIR_CAPACITY_J
 from repro.energy.meter import MeterBank, NodeMeter
 from repro.energy.radio_specs import (
     CABLETRON,
+    FIRST_ORDER_RADIO_MODEL,
     LUCENT_11,
     MICAZ,
     RadioSpec,
     get_spec,
 )
+from repro.energy.residual import live_residual_fraction
 from repro.faults import FaultInjector, FaultPlan
 from repro.mac.base import MAC_ENGINES
 from repro.mac.csma import SensorCsmaMac
@@ -77,9 +80,16 @@ from repro.mac.dcf import DcfMac
 from repro.models.forwarding import ForwardingAgent
 from repro.net.addressing import AddressMap
 from repro.net.csr import CsrGraph
+from repro.net.policy import (
+    POLICY_HOPS,
+    ROUTING_POLICIES,
+    RoutingPolicyContext,
+    build_cost_model,
+)
 from repro.net.routing import (
     ENGINE_EAGER,
     ENGINE_LAZY,
+    DijkstraRoutingTable,
     LazyRoutingTable,
     RoutingLike,
     RoutingTable,
@@ -113,6 +123,7 @@ from repro.topology.registry import (
     topology_node_count,
 )
 from repro.traffic.registry import TRAFFIC, build_source
+from repro.units import BITS_PER_BYTE
 
 if typing.TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.runner.executor import SweepRunner
@@ -234,6 +245,14 @@ class ScenarioConfig:
     #: the engines' seeded tie-break schemes differ (see
     #: :mod:`repro.net.routing`).
     routing: str = "auto"
+    #: Route metric (:data:`repro.net.policy.ROUTING_POLICIES`): ``"hops"``
+    #: (default) keeps the BFS engines and every pinned golden digest
+    #: byte-identical; ``"tx-energy"`` / ``"residual-energy"`` route over
+    #: the Dijkstra cost engine and consciously diverge.  Unlike
+    #: ``routing`` (an engine choice with identical routes), the policy
+    #: changes *which* routes are taken, so it is part of the cached
+    #: identity in the strongest sense.
+    routing_policy: str = POLICY_HOPS
     #: Simulator agenda backend (:data:`repro.sim.scheduler.SCHEDULER_MODES`):
     #: ``"heap"`` is the historical default, ``"calendar"`` batches
     #: same-timestamp timers (faster on slot-aligned MAC workloads).  Both
@@ -264,6 +283,11 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown routing engine {self.routing!r}; "
                 f"expected one of {ROUTING_MODES}"
+            )
+        if self.routing_policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.routing_policy!r}; "
+                f"registered: {ROUTING_POLICIES.names()}"
             )
         if self.scheduler not in SCHEDULER_MODES:
             raise ValueError(
@@ -495,16 +519,76 @@ def _audibility_routing(
     construction path entirely (the eager engine's CSR build is
     byte-compatible with its historical networkx one).
     """
+    graph = _audibility_graph(layout, medium)
+    if engine == ENGINE_LAZY:
+        return LazyRoutingTable(graph, rng=rng)
+    return RoutingTable(graph, rng=rng)
+
+
+def _audibility_graph(layout: Layout, medium: Medium) -> CsrGraph:
+    """The bidirectionally-audible link graph (see ``_audibility_routing``)."""
     links = [
         (a, b)
         for a in layout.node_ids
         for b in medium.neighbors(a)
         if a < b and medium.is_neighbor(b, a)
     ]
-    graph = CsrGraph.from_links(layout.node_ids, links)
-    if engine == ENGINE_LAZY:
-        return LazyRoutingTable(graph, rng=rng)
-    return RoutingTable(graph, rng=rng)
+    return CsrGraph.from_links(layout.node_ids, links)
+
+
+def _residual_reader(
+    config: ScenarioConfig, built: "_BuiltNetwork"
+) -> typing.Callable[[int], float]:
+    """Node id → live remaining-battery fraction, for residual routing.
+
+    Capacities come from the fault plan when it arms batteries (so the
+    policy and the injector's death poll agree on the reservoir) and
+    default to an AA pair otherwise.  The closure reads the built
+    network's meter bank *live* — through the same flush-then-read helper
+    the battery poll uses — so refreshed routes see exactly the depletion
+    the injector bills.
+    """
+    plan = config.faults
+    default_capacity = AA_PAIR_CAPACITY_J
+    overrides: dict[int, float] = {}
+    if plan is not None:
+        if plan.battery_capacity_j is not None:
+            default_capacity = plan.battery_capacity_j
+        overrides = dict(plan.battery_overrides)
+
+    def fraction(node: int) -> float:
+        bank = built.meter_bank
+        if bank is None:  # pragma: no cover - bank exists before routing
+            return 1.0
+        capacity = overrides.get(node, default_capacity)
+        return live_residual_fraction(bank, built.high_radios, node, capacity)
+
+    return fraction
+
+
+def _policy_routing(
+    config: ScenarioConfig,
+    built: "_BuiltNetwork",
+    graph: CsrGraph,
+    layout: Layout,
+    spec: RadioSpec,
+    rng: typing.Any,
+) -> DijkstraRoutingTable:
+    """A cost-engine table for the configured non-default routing policy.
+
+    The context is the per-tier flyweight every cost model draws from:
+    the shared first-order energy model, this tier's on-air packet size,
+    and the live residual reader (ignored by static policies).
+    """
+    context = RoutingPolicyContext(
+        energy_model=FIRST_ORDER_RADIO_MODEL,
+        packet_bits=(config.payload_bytes + spec.header_bytes)
+        * BITS_PER_BYTE,
+        residual_fraction=_residual_reader(config, built),
+    )
+    cost_model = build_cost_model(config.routing_policy, context)
+    assert cost_model is not None  # POLICY_HOPS never reaches here
+    return DijkstraRoutingTable(graph, cost_model, layout=layout, rng=rng)
 
 
 def _build_low_stack(
@@ -530,6 +614,17 @@ def _build_low_stack(
         built.low_macs.append(SensorCsmaMac(sim, radio, engine=config.mac_engine))
     engine = config.routing_engine()
     with phase("routing_build"):
+        if config.routing_policy != POLICY_HOPS:
+            # Cost-engine path: same connectivity graph the hops path
+            # would route over, different metric.
+            if config.propagation is not None:
+                graph = _audibility_graph(layout, medium)
+            else:
+                graph = CsrGraph.from_layout(layout, config.low_spec.range_m)
+            return _policy_routing(
+                config, built, graph, layout, config.low_spec,
+                rng=sim.rng.stream("routing.low"),
+            )
         if config.propagation is not None:
             return _audibility_routing(
                 layout, medium, rng=sim.rng.stream("routing.low"),
@@ -574,7 +669,19 @@ def _build_high_stack(
         built.high_macs.append(DcfMac(sim, radio, engine=config.mac_engine))
     engine = config.routing_engine()
     with phase("routing_build"):
-        if config.high_radios is None and config.propagation is None:
+        uniform = config.high_radios is None and config.propagation is None
+        if config.routing_policy != POLICY_HOPS:
+            if uniform:
+                graph = CsrGraph.from_layout(
+                    layout, config.effective_high_spec().range_m
+                )
+            else:
+                graph = _audibility_graph(layout, medium)
+            return _policy_routing(
+                config, built, graph, layout, config.effective_high_spec(),
+                rng=sim.rng.stream("routing.high"),
+            )
+        if uniform:
             # Homogeneous fleet on the paper's channel: the historical
             # single-range construction.
             return build_routing(

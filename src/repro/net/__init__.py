@@ -9,7 +9,20 @@ from repro.net.addressing import (
 )
 from repro.net.csr import CsrGraph
 from repro.net.packets import DataPacket
+from repro.net.policy import (
+    POLICY_HOPS,
+    POLICY_RESIDUAL,
+    POLICY_TX_ENERGY,
+    ROUTING_POLICIES,
+    ROUTING_POLICY_NAMES,
+    LinkCostModel,
+    ResidualEnergyCost,
+    RoutingPolicyContext,
+    TxEnergyCost,
+    build_cost_model,
+)
 from repro.net.routing import (
+    DijkstraRoutingTable,
     LazyRoutingTable,
     RoutingError,
     RoutingLike,
@@ -23,13 +36,24 @@ __all__ = [
     "AddressMap",
     "CsrGraph",
     "DataPacket",
+    "DijkstraRoutingTable",
     "HIGH_INTERFACE",
     "LOW_INTERFACE",
     "LazyRoutingTable",
+    "LinkCostModel",
+    "POLICY_HOPS",
+    "POLICY_RESIDUAL",
+    "POLICY_TX_ENERGY",
+    "ROUTING_POLICIES",
+    "ROUTING_POLICY_NAMES",
+    "ResidualEnergyCost",
     "RoutingError",
     "RoutingLike",
     "RoutingTable",
+    "RoutingPolicyContext",
     "ShortcutLearner",
+    "TxEnergyCost",
+    "build_cost_model",
     "build_routing",
     "format_eui48",
     "format_short_address",

@@ -1,0 +1,204 @@
+"""Routing policies: pluggable link-cost models behind a registry.
+
+Routing used to be hardwired to min-hop BFS.  This module turns the
+route metric into an axis, mirroring the topology/propagation/traffic
+registries: a policy names a :class:`LinkCostModel` factory, the
+scenario builder resolves it, and the Dijkstra engine in
+:mod:`repro.net.routing` consumes whatever costs the model produces.
+
+Three policies ship:
+
+``hops``
+    The byte-identity default.  Its registry value is ``None`` — the
+    scenario builder keeps the existing BFS engines (eager/lazy) on this
+    path untouched, so every pinned golden digest is preserved bit for
+    bit.
+``tx-energy``
+    Static distance-dependent cost from the first-order radio model
+    ``E_ELEC + E_AMP * d^alpha``: routes prefer several short hops over
+    one long one once the amplifier term dominates.
+``residual-energy``
+    ``tx-energy`` scaled by the transmitting node's live battery
+    residual (read through :func:`repro.energy.residual.
+    live_residual_fraction`, the same flush-then-read the fault
+    injector's battery poll uses).  Depleted relays look expensive, so
+    load shifts off them *before* they die — the max-lifetime heuristic.
+
+Cost model contract
+-------------------
+
+A cost model supplies two layers:
+
+* ``edge_costs(csr, layout)`` — one static, symmetric cost per CSR slot
+  (parallel to ``csr.indices``): the price of crossing that edge.
+* ``node_factors(csr)`` — optional per-node *transmitter* multipliers,
+  re-read whenever routes are refreshed.  ``None`` means uniform.
+
+Relaxing neighbor ``u`` from settled node ``v`` on a tree rooted at the
+destination costs ``dist[v] + factor[u] * edge_cost[slot]``: trees grow
+from the destination outward, so the node *entering* the tree is the one
+that would transmit across the edge, and its factor scales the step.
+Distances are symmetric, so reading the slot cost from row ``v`` prices
+the same link.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.energy.radio_specs import FIRST_ORDER_RADIO_MODEL, RadioEnergyModel
+from repro.registry import Registry
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.csr import CsrGraph
+    from repro.topology.layout import Layout
+
+POLICY_HOPS = "hops"
+POLICY_TX_ENERGY = "tx-energy"
+POLICY_RESIDUAL = "residual-energy"
+
+#: Residual fractions below this clamp are treated as "effectively dead";
+#: keeps the cost multiplier finite.  Mirrors the floor in
+#: :func:`repro.energy.residual.live_residual_fraction`.
+RESIDUAL_FLOOR = 1e-6
+
+
+class LinkCostModel(typing.Protocol):
+    """What the Dijkstra engine needs from a routing policy."""
+
+    #: True when node factors change during a run (live battery reads) and
+    #: route tables should honour mid-epoch ``refresh_costs()`` requests.
+    dynamic: bool
+
+    def edge_costs(
+        self, csr: "CsrGraph", layout: "Layout | None"
+    ) -> list[float]:
+        """Static cost per CSR slot, parallel to ``csr.indices``."""
+        ...
+
+    def node_factors(self, csr: "CsrGraph") -> list[float] | None:
+        """Per-node transmitter multipliers, or ``None`` for uniform."""
+        ...
+
+
+class TxEnergyCost:
+    """Distance-dependent transmit energy per edge (static)."""
+
+    dynamic = False
+
+    def __init__(
+        self,
+        energy_model: RadioEnergyModel = FIRST_ORDER_RADIO_MODEL,
+        packet_bits: int = 320,
+    ) -> None:
+        self.energy_model = energy_model
+        self.packet_bits = packet_bits
+
+    def edge_costs(
+        self, csr: "CsrGraph", layout: "Layout | None"
+    ) -> list[float]:
+        if layout is None:
+            raise ValueError("tx-energy routing needs a layout for distances")
+        ids = csr.ids
+        indptr = csr.indptr
+        indices = csr.indices
+        model = self.energy_model
+        bits = self.packet_bits
+        costs = [0.0] * len(indices)
+        for row in range(len(ids)):
+            src = ids[row]
+            for slot in range(indptr[row], indptr[row + 1]):
+                dst = ids[indices[slot]]
+                costs[slot] = model.tx_cost_j(bits, layout.distance(src, dst))
+        return costs
+
+    def node_factors(self, csr: "CsrGraph") -> list[float] | None:
+        return None
+
+
+class ResidualEnergyCost:
+    """Transmit energy scaled by the transmitter's live battery residual."""
+
+    dynamic = True
+
+    def __init__(
+        self,
+        residual_fraction: typing.Callable[[int], float],
+        energy_model: RadioEnergyModel = FIRST_ORDER_RADIO_MODEL,
+        packet_bits: int = 320,
+    ) -> None:
+        self._base = TxEnergyCost(energy_model, packet_bits)
+        self._residual_fraction = residual_fraction
+
+    def edge_costs(
+        self, csr: "CsrGraph", layout: "Layout | None"
+    ) -> list[float]:
+        return self._base.edge_costs(csr, layout)
+
+    def node_factors(self, csr: "CsrGraph") -> list[float] | None:
+        factors = [1.0] * len(csr.ids)
+        for row, node in enumerate(csr.ids):
+            fraction = self._residual_fraction(node)
+            factors[row] = 1.0 / max(fraction, RESIDUAL_FLOOR)
+        return factors
+
+
+class RoutingPolicyContext(typing.NamedTuple):
+    """Everything a policy factory may need, shared flyweight-style.
+
+    One context is built per scenario tier and handed to whichever
+    factory the configured policy names; policies ignore fields they do
+    not use.  ``residual_fraction`` maps node id to remaining battery
+    fraction and is only required by ``residual-energy``.
+    """
+
+    energy_model: RadioEnergyModel = FIRST_ORDER_RADIO_MODEL
+    packet_bits: int = 320
+    residual_fraction: typing.Callable[[int], float] | None = None
+
+
+def _make_tx_energy(context: RoutingPolicyContext) -> LinkCostModel:
+    return TxEnergyCost(context.energy_model, context.packet_bits)
+
+
+def _make_residual(context: RoutingPolicyContext) -> LinkCostModel:
+    if context.residual_fraction is None:
+        raise ValueError(
+            "residual-energy routing needs a residual_fraction reader"
+        )
+    return ResidualEnergyCost(
+        context.residual_fraction, context.energy_model, context.packet_bits
+    )
+
+
+#: The routing-policy axis.  Values are cost-model factories taking a
+#: :class:`RoutingPolicyContext`; the ``hops`` entry is ``None`` on
+#: purpose — it marks "keep the BFS engines", the byte-identity path.
+ROUTING_POLICIES: Registry = Registry("routing policy")
+ROUTING_POLICIES.register(
+    POLICY_HOPS,
+    None,
+    summary="minimum hop count (BFS; the byte-identity default)",
+)
+ROUTING_POLICIES.register(
+    POLICY_TX_ENERGY,
+    _make_tx_energy,
+    summary="minimum transmit energy: E_ELEC + E_AMP*d^alpha per hop",
+)
+ROUTING_POLICIES.register(
+    POLICY_RESIDUAL,
+    _make_residual,
+    summary="tx energy / live battery residual: spares depleted relays",
+)
+
+ROUTING_POLICY_NAMES: tuple[str, ...] = tuple(ROUTING_POLICIES.names())
+
+
+def build_cost_model(
+    policy: str, context: RoutingPolicyContext
+) -> LinkCostModel | None:
+    """Resolve ``policy`` to a cost model (``None`` for ``hops``)."""
+    factory = ROUTING_POLICIES.get(policy)
+    if factory is None:
+        return None
+    return factory(context)

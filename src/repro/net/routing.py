@@ -6,7 +6,7 @@ the collection tree to a next-hop table because BCP's wake-up handshake
 also routes *away* from the sink: the WAKEUP travels sender → receiver and
 the WAKEUP-ACK travels back.
 
-Two engines implement the same query API:
+Three engines implement the same query API:
 
 * :class:`RoutingTable` — the historical eager engine: one BFS per
   destination, all destinations materialized at construction.  O(n · (V+E))
@@ -21,6 +21,13 @@ Two engines implement the same query API:
   memoized.  A collection-tree workload (sink + WAKEUP reverse paths)
   computes O(senders + 1) trees instead of n, which is what makes 1k+
   node deployments routable in milliseconds (see ``repro bench``).
+* :class:`DijkstraRoutingTable` — the cost engine behind the routing
+  *policies* (:mod:`repro.net.policy`): a binary-heap Dijkstra over the
+  same CSR arrays, consuming a :class:`~repro.net.policy.LinkCostModel`
+  instead of unit hops.  Per-destination trees are memoized like the lazy
+  engine's, ties break with the same derived per-destination streams, and
+  under unit costs its trees are draw-for-draw identical to the BFS
+  engines' (a property the test suite pins).
 
 Tie-breaking between equal-length paths is deterministic by default
 (lowest neighbor id).  On a perfectly regular grid that concentrates every
@@ -48,11 +55,15 @@ for pairs with no connecting path (see :meth:`RoutingTable.next_hop`).
 from __future__ import annotations
 
 import hashlib
+import heapq
 import random
 import typing
 
 from repro.net.csr import CsrGraph
 from repro.topology.layout import Layout
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.policy import LinkCostModel
 
 #: Tie-break scheme names accepted by the eager engine.
 TIE_THREADED = "threaded"
@@ -634,8 +645,286 @@ class LazyRoutingTable(_QueryMixin):
         }
 
 
-#: Either routing engine; the query API is identical.
-RoutingLike = typing.Union[RoutingTable, LazyRoutingTable]
+class _CostTree:
+    """One destination's settled Dijkstra tree (cost-space sibling of
+    :class:`_LazyTree`; computed whole, as cost frontiers have no clean
+    level structure to pause between)."""
+
+    __slots__ = ("parent", "depth", "cost")
+
+    def __init__(self, n: int):
+        self.parent = [-1] * n
+        self.depth = [-1] * n
+        self.cost = [float("inf")] * n
+
+
+class DijkstraRoutingTable(_QueryMixin):
+    """Min-cost routing over a CSR adjacency under a pluggable cost model.
+
+    Parameters
+    ----------
+    adjacency:
+        The shared :class:`~repro.net.csr.CsrGraph`.
+    cost_model:
+        A :class:`~repro.net.policy.LinkCostModel`: static per-slot edge
+        costs plus optional per-node transmitter multipliers.
+    layout:
+        Deployment geometry handed to the cost model for distances (may
+        be ``None`` for models that don't need it).
+    rng:
+        Optional seeded stream; like the lazy engine, exactly one 64-bit
+        draw is consumed at construction and each destination shuffles
+        with its own derived stream (:func:`destination_rng`).
+
+    Notes
+    -----
+    The heap orders entries by ``(cost, insertion counter)``: FIFO among
+    equal costs.  With unit edge costs and uniform factors that makes the
+    settle order exactly BFS frontier order, and since relaxation only
+    ever *strictly* improves, parents land on the first discoverer — so
+    the produced trees (and the rng draw sequence: one neighbor-slice
+    shuffle per settled node, in settle order) are identical to the BFS
+    engines'.  Energy-based costs then diverge consciously.
+
+    ``node_factors`` are re-read on :meth:`invalidate_epoch` (so residual
+    costs see post-death meters) and on :meth:`refresh_costs` (so the
+    fault injector's battery poll can fold live depletion into routes
+    between epochs).  Edge costs are geometric and never change.
+    """
+
+    def __init__(
+        self,
+        adjacency: CsrGraph,
+        cost_model: "LinkCostModel",
+        layout: Layout | None = None,
+        rng: typing.Any = None,
+    ):
+        self.adjacency = adjacency
+        self.cost_model = cost_model
+        self._tie_seed: int | None = (
+            None if rng is None else rng.getrandbits(64)
+        )
+        self._edge_costs = list(cost_model.edge_costs(adjacency, layout))
+        if len(self._edge_costs) != len(adjacency.indices):
+            raise ValueError(
+                f"cost model produced {len(self._edge_costs)} edge costs "
+                f"for {len(adjacency.indices)} CSR slots"
+            )
+        self._factors = cost_model.node_factors(adjacency)
+        self._trees: dict[int, _CostTree] = {}
+        self.trees_computed = 0
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """All routable node ids, ascending."""
+        return self.adjacency.ids
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` are directly linked."""
+        return self.adjacency.has_edge(a, b)
+
+    def invalidate_epoch(
+        self, epoch: int, dead: typing.Iterable[int] = ()
+    ) -> None:
+        """Drop every memoized tree and re-read the node cost factors.
+
+        Like the lazy engine this is O(1) plus one factor sweep; each
+        surviving destination's tree is recomputed on first use against
+        the new liveness set and factors.
+        """
+        self._resolve_dead(epoch, dead)
+        self._trees.clear()
+        self._factors = self.cost_model.node_factors(self.adjacency)
+
+    def refresh_costs(self) -> None:
+        """Fold live node-factor changes into future routes, same epoch.
+
+        No-op for static cost models.  For dynamic ones (residual
+        energy) the fault injector calls this from its battery poll so
+        load shifts off depleting relays *before* they die — waiting for
+        the death-driven epoch bump would defeat the policy's purpose.
+        """
+        if not self.cost_model.dynamic:
+            return
+        self._factors = self.cost_model.node_factors(self.adjacency)
+        self._trees.clear()
+
+    def _tree(self, dst_idx: int) -> _CostTree:
+        """The memoized settled tree for ``dst_idx``."""
+        tree = self._trees.get(dst_idx)
+        if tree is None:
+            tree = self._compute_tree(dst_idx)
+            self._trees[dst_idx] = tree
+            self.trees_computed += 1
+        return tree
+
+    def _compute_tree(self, dst_idx: int) -> _CostTree:
+        csr = self.adjacency
+        indptr, indices = csr.indptr, csr.indices
+        n = len(csr.ids)
+        edge_costs = self._edge_costs
+        factors = self._factors
+        tree = _CostTree(n)
+        parent, depth, cost = tree.parent, tree.depth, tree.cost
+        dead_idx = self._dead_idx
+        if dead_idx:
+            if dst_idx in dead_idx:
+                # Dead destination: nothing to settle, everything
+                # unreachable (mirrors the lazy engine).
+                parent[dst_idx] = _DEAD
+                return tree
+            # Same sentinel trick as the BFS engines: dead nodes never
+            # settle as relays yet still occupy their slice slots, so
+            # shuffle draw counts stay independent of liveness.
+            for i in dead_idx:
+                parent[i] = _DEAD
+        rng = (
+            None
+            if self._tie_seed is None
+            else destination_rng(self._tie_seed, csr.ids[dst_idx])
+        )
+        parent[dst_idx] = dst_idx
+        depth[dst_idx] = 0
+        cost[dst_idx] = 0.0
+        settled = bytearray(n)
+        # (cost, insertion counter, node): FIFO among equal costs — the
+        # property that makes unit-cost trees BFS-identical.
+        heap: list[tuple[float, int, int]] = [(0.0, 0, dst_idx)]
+        counter = 1
+        while heap:
+            _, _, node = heapq.heappop(heap)
+            if settled[node]:
+                continue  # stale entry superseded by a cheaper relaxation
+            settled[node] = 1
+            base = cost[node]
+            node_depth = depth[node] + 1
+            lo, hi = indptr[node], indptr[node + 1]
+            if rng is None:
+                order: typing.Iterable[int] = range(lo, hi)
+            else:
+                # Shuffling slot positions consumes the same draws as the
+                # BFS engines' neighbor-slice shuffle (shuffle consumption
+                # depends only on length) and visits neighbors in the same
+                # permuted order, while keeping the slot at hand for the
+                # edge-cost lookup.
+                slots = list(range(lo, hi))
+                rng.shuffle(slots)
+                order = slots
+            for j in order:
+                neighbor = indices[j]
+                if parent[neighbor] == _DEAD or settled[neighbor]:
+                    continue
+                step = edge_costs[j]
+                if factors is not None:
+                    # The node *entering* the tree transmits across this
+                    # edge (trees grow destination-outward), so its factor
+                    # scales the step.
+                    step *= factors[neighbor]
+                candidate = base + step
+                if candidate < cost[neighbor]:
+                    cost[neighbor] = candidate
+                    parent[neighbor] = node
+                    depth[neighbor] = node_depth
+                    heapq.heappush(heap, (candidate, counter, neighbor))
+                    counter += 1
+        return tree
+
+    def _pair_indexes(self, src: int, dst: int) -> tuple[int, int] | None:
+        """Both ids' CSR indexes, or None when either id is unknown."""
+        csr = self.adjacency
+        try:
+            return csr.index(src), csr.index(dst)
+        except KeyError:
+            return None
+
+    def has_route(self, src: int, dst: int) -> bool:
+        """Whether a path from ``src`` to ``dst`` exists."""
+        if src == dst:
+            return True
+        indexes = self._pair_indexes(src, dst)
+        if indexes is None:
+            return False
+        src_idx, dst_idx = indexes
+        return self._tree(dst_idx).parent[src_idx] >= 0
+
+    def next_hop(self, src: int, dst: int) -> int:
+        if src == dst:
+            raise RoutingError(f"node {src} routing to itself")
+        indexes = self._pair_indexes(src, dst)
+        if indexes is None:
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
+        src_idx, dst_idx = indexes
+        hop = self._tree(dst_idx).parent[src_idx]
+        if hop < 0:
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
+        return self.adjacency.ids[hop]
+
+    next_hop.__doc__ = _QueryMixin.next_hop.__doc__
+
+    def hops(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        indexes = self._pair_indexes(src, dst)
+        if indexes is None:
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
+        src_idx, dst_idx = indexes
+        count = self._tree(dst_idx).depth[src_idx]
+        if count < 0:
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
+        return count
+
+    hops.__doc__ = _QueryMixin.hops.__doc__
+
+    def path_cost(self, src: int, dst: int) -> float:
+        """Total link cost of the chosen route (0.0 for ``src == dst``).
+
+        Raises
+        ------
+        RoutingError
+            If the graph has no ``src`` → ``dst`` path.
+        """
+        if src == dst:
+            return 0.0
+        indexes = self._pair_indexes(src, dst)
+        if indexes is None:
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
+        src_idx, dst_idx = indexes
+        total = self._tree(dst_idx).cost[src_idx]
+        if total == float("inf"):
+            raise RoutingError(
+                f"no route from {src} to {dst} (topology epoch {self.epoch})"
+            )
+        return total
+
+    def depths_to(self, sink: int) -> dict[int, int]:
+        """Hop length of every connected node's chosen route to ``sink``.
+
+        Note: hop count *along the min-cost route*, not the min hop
+        count — energy policies happily take more, shorter hops.
+        """
+        csr = self.adjacency
+        if sink not in csr:
+            return {}
+        depth = self._tree(csr.index(sink)).depth
+        return {
+            node: depth[i] for i, node in enumerate(csr.ids) if depth[i] >= 0
+        }
+
+
+#: Any routing engine; the query API is identical.
+RoutingLike = typing.Union[
+    RoutingTable, LazyRoutingTable, DijkstraRoutingTable
+]
 
 #: Engine names accepted by :func:`build_routing`.
 ENGINE_EAGER = "eager"

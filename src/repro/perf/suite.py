@@ -662,6 +662,70 @@ def _case_churn_1k() -> BenchCase:
     )
 
 
+def _case_routing_policy_1k() -> BenchCase:
+    """One 1k-node collection round's routing work per registered policy.
+
+    ``hops`` runs the production default at this scale (the lazy BFS
+    engine); the energy policies run the Dijkstra cost engine with static
+    (tx-energy) and dynamic (residual-energy, synthetic depletion
+    spread) cost models.  Gates the cost engine's build+query price
+    against the BFS baseline it extends.
+    """
+
+    def setup():
+        from repro.net.csr import CsrGraph
+
+        layout = _uniform_layout(1000, _FIELD_1K, 1)
+        return layout, CsrGraph.from_layout(layout, _RANGE_M)
+
+    def run(prepared):
+        from repro.net.policy import (
+            ROUTING_POLICIES,
+            RoutingPolicyContext,
+            build_cost_model,
+        )
+        from repro.net.routing import DijkstraRoutingTable, build_routing
+
+        layout, graph = prepared
+        # Synthetic depletion spread so the residual policy's factors are
+        # non-uniform (a flat fleet would degenerate to tx-energy).
+        context = RoutingPolicyContext(
+            packet_bits=320,
+            residual_fraction=lambda node: 1.0 - (node % 97) / 128.0,
+        )
+        reached = 0
+        trees = 0
+        for policy in ROUTING_POLICIES.names():
+            cost_model = build_cost_model(policy, context)
+            if cost_model is None:
+                table = build_routing(
+                    layout, _RANGE_M, rng=random.Random(2), engine="lazy"
+                )
+            else:
+                table = DijkstraRoutingTable(
+                    graph, cost_model, layout=layout, rng=random.Random(2)
+                )
+            reached += _collection_workload(table, 1000)
+            trees += table.trees_computed
+        return {
+            "nodes": 1000.0,
+            "policies": float(len(ROUTING_POLICIES.names())),
+            "reached_senders": float(reached),
+            "trees": float(trees),
+        }
+
+    return BenchCase(
+        name="routing-policy-1k",
+        summary=(
+            "1k-node collection-round routing per policy: lazy BFS (hops) "
+            "vs the Dijkstra cost engine (tx-energy, residual-energy)"
+        ),
+        setup=setup,
+        run=run,
+        repeats=3,
+    )
+
+
 #: ``"dual"`` without importing the model layer at module import time.
 MODEL_DUAL_NAME = "dual"
 
@@ -738,6 +802,16 @@ WALL_BUDGETS = (
         case="churn-1k",
         max_wall_s=10.0,
     ),
+    # Three policies' worth of 1k-node collection routing (33 trees
+    # each): the Dijkstra cost engine must stay in the lazy BFS engine's
+    # latency class (measured well under 1 s on a dev box; the budget
+    # absorbs loaded CI runners while catching an accidentally quadratic
+    # relaxation loop).
+    WallBudget(
+        name="routing-policy-1k-budget",
+        case="routing-policy-1k",
+        max_wall_s=10.0,
+    ),
 )
 
 
@@ -746,6 +820,7 @@ def all_cases() -> tuple[BenchCase, ...]:
     return (
         _case_routing_eager_1k(),
         _case_routing_lazy(1000, _FIELD_1K),
+        _case_routing_policy_1k(),
         _case_routing_lazy(5000, _FIELD_5K),
         _case_routing_lazy(10000, _FIELD_10K, suites=("full",)),
         # The gated kernel case runs the calendar scheduler (the tuned

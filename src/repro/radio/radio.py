@@ -87,6 +87,11 @@ class RadioPort:
         self.medium = medium
         self.meter = meter
         self.component = component or f"radio.{spec.name}"
+        if spec.tx_power_levels:
+            # Instance attribute only for ports that opted into a discrete
+            # power ladder; the common case stays on the class-level None
+            # and its transmit path is unchanged.
+            self._tx_levels = spec.tx_power_levels
         #: Extra fixed on-air time per frame (e.g. the 802.11b PLCP
         #: preamble); MAC presets may set this.
         self.preamble_s = 0.0
@@ -184,6 +189,8 @@ class RadioPort:
         self._transmitting = True
         self.frames_tx += 1
         duration = self.airtime(frame)
+        if self._tx_levels is not None:
+            self._tx_power_w = self._select_tx_power(frame)
         self._begin_tx_accounting(duration)
         self.medium.note_state(self)
         end_event = self.medium.transmit(self, frame, duration)
@@ -197,6 +204,31 @@ class RadioPort:
         self._transmitting = False
         self._end_tx_accounting(end_event.delay)
         self.medium.note_state(self)
+
+    # -- discrete transmit-power selection ---------------------------------
+
+    #: Class attributes: ports without a power ladder (every Table 1 spec)
+    #: pay neither a per-instance slot nor a per-frame selection.
+    _tx_levels: tuple | None = None
+    _tx_power_w = 0.0
+
+    def _select_tx_power(self, frame: Frame) -> float:
+        """Cheapest ladder level whose reach covers the next hop.
+
+        Broadcasts and unknown destinations transmit at full nominal
+        power (everything in nominal range must hear them).  Power
+        selection is an *accounting* refinement: the medium's neighbor
+        index reads the nominal ``range_m``, so audibility — who hears,
+        collides with, or overhears the frame — is unchanged; only the
+        transmit-side energy bill shrinks for short hops.
+        """
+        dst = frame.dst
+        layout = self.medium.layout
+        if dst < 0 or dst not in layout:
+            return self.spec.p_tx_w
+        return self.spec.tx_power_for_range(
+            layout.distance(self.node_id, dst)
+        )
 
     # -- fault injection ---------------------------------------------------
 
@@ -277,6 +309,13 @@ class LowPowerRadio(RadioPort):
 
     def _begin_tx_accounting(self, duration: float) -> None:
         # Charged up front; the amount is fixed once the frame is committed.
+        if self._tx_levels is not None:
+            # Power varies per frame, so the cached-column fast path (which
+            # bakes in the nominal p_tx) does not apply.
+            self.meter.charge(
+                self._tx_power_w * duration, self.component, CATEGORY_TX
+            )
+            return
         fast = self._tx_fast
         if fast is not None:
             # The first charge below stamped this node's first-seq for the
@@ -430,7 +469,12 @@ class HighPowerRadio(RadioPort):
 
     def _begin_tx_accounting(self, duration: float) -> None:
         self.state = RadioState.TX
-        self._integrator.set_power(self.spec.p_tx_w, CATEGORY_TX)
+        power = (
+            self.spec.p_tx_w
+            if self._tx_levels is None
+            else self._tx_power_w
+        )
+        self._integrator.set_power(power, CATEGORY_TX)
 
     def _end_tx_accounting(self, duration: float) -> None:
         if self._powered_down:

@@ -1,7 +1,11 @@
 """Rendering of tables/series and the per-figure regeneration registry."""
 
 from repro.report.figures import REGISTRY
-from repro.report.scenario import describe_composition, render_run_report
+from repro.report.scenario import (
+    describe_composition,
+    render_policy_comparison,
+    render_run_report,
+)
 from repro.report.series import render_series, series_to_csv
 from repro.report.tables import format_value, render_matrix, render_table
 
@@ -10,6 +14,7 @@ __all__ = [
     "describe_composition",
     "format_value",
     "render_matrix",
+    "render_policy_comparison",
     "render_run_report",
     "render_series",
     "render_table",

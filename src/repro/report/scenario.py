@@ -12,7 +12,7 @@ from __future__ import annotations
 import typing
 
 from repro.report.tables import format_value, render_table
-from repro.stats.metrics import RunResult, merge_counters
+from repro.stats.metrics import ENERGY_TOTAL, RunResult, merge_counters
 from repro.stats.summary import ReplicatedSummary
 
 if typing.TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -45,12 +45,17 @@ def describe_composition(config: "ScenarioConfig") -> list[str]:
     if config.traffic_mix:
         mix = ", ".join(f"node {node}={name}" for node, name in config.traffic_mix)
         traffic = f"{traffic} ({mix})"
+    if config.routing_policy == "hops":
+        routing = f"hops ({config.routing_engine()} engine)"
+    else:
+        routing = f"{config.routing_policy} (dijkstra engine)"
     return [
         f"model       : {config.model}",
         f"topology    : {topology}  ({config.n_nodes} nodes, sink {config.sink})",
         f"propagation : {propagation}",
         f"high radio  : {radios}",
         f"low radio   : {config.low_spec.name}",
+        f"routing     : {routing}",
         f"traffic     : {traffic}  ({config.n_senders} senders at "
         f"{config.rate_bps:g} b/s)",
         f"burst       : {config.burst_packets} packets, buffer "
@@ -118,6 +123,71 @@ def _lifetime_lines(results: typing.Sequence[RunResult]) -> list[str]:
         total = sum(c.get(key, 0.0) for c in per_run)
         lines.append(f"{label}: {format_value(total / n)} per run")
     return lines
+
+
+def _mean_first_death(results: typing.Sequence[RunResult]) -> float | None:
+    """Mean first-node-death time over runs that saw one, else ``None``."""
+    deaths = [
+        result.counters["faults.first_death_s"]
+        for result in results
+        if result.counters.get("faults.first_death_s", -1.0) >= 0.0
+    ]
+    if not deaths:
+        return None
+    return sum(deaths) / len(deaths)
+
+
+def render_policy_comparison(
+    results_by_policy: typing.Mapping[str, typing.Sequence[RunResult]],
+    baseline: str = "hops",
+) -> str:
+    """Per-policy energy and lifetime deltas against a baseline policy.
+
+    One row per policy: mean fleet energy (with % delta vs ``baseline``)
+    and mean first-node-death time (with delta in seconds; ``-`` when no
+    node died).  The input maps policy name → that policy's replicated
+    :class:`RunResult` list — ``repro run`` cells or the lifetime
+    example's sweeps alike.
+    """
+    base_results = results_by_policy.get(baseline)
+    base_energy = None
+    base_death = None
+    if base_results:
+        base_energy = sum(
+            result.energy_j[ENERGY_TOTAL] for result in base_results
+        ) / len(base_results)
+        base_death = _mean_first_death(base_results)
+    rows: list[list[object]] = []
+    for policy, results in results_by_policy.items():
+        if not results:
+            continue
+        energy = sum(
+            result.energy_j[ENERGY_TOTAL] for result in results
+        ) / len(results)
+        if base_energy:
+            energy_delta = f"{(energy / base_energy - 1.0) * 100.0:+.1f}%"
+        else:
+            energy_delta = "-"
+        death = _mean_first_death(results)
+        death_cell = format_value(death) if death is not None else "-"
+        if death is not None and base_death is not None:
+            death_delta = f"{death - base_death:+g} s"
+        else:
+            death_delta = "-"
+        rows.append(
+            [policy, format_value(energy), energy_delta, death_cell, death_delta]
+        )
+    return render_table(
+        (
+            "policy",
+            "energy (J)",
+            f"vs {baseline}",
+            "first death (s)",
+            f"vs {baseline}",
+        ),
+        rows,
+        title="routing policies",
+    )
 
 
 def render_run_report(

@@ -43,7 +43,12 @@ import typing
 #: (:class:`~repro.faults.plan.FaultPlan`).  The no-fault path is
 #: byte-identical (golden digests unchanged), but the field widens every
 #: config key, so pre-fault keys are retired wholesale.
-CACHE_SCHEMA_VERSION = 7
+#: v8: ScenarioConfig grew the ``routing_policy`` axis (hops / tx-energy
+#: / residual-energy) and RadioSpec the ``tx_power_levels`` ladder.  The
+#: ``"hops"`` default with an empty ladder is byte-identical (golden
+#: digests unchanged), but both fields widen every config key, so
+#: pre-policy keys are retired wholesale.
+CACHE_SCHEMA_VERSION = 8
 
 
 def _canonicalize(value: typing.Any) -> typing.Any:

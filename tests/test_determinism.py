@@ -59,6 +59,30 @@ GOLDEN_COMPOSED_DIGEST = (
     "cbc69a0e7d02edf4c04b523e2c4331321aa23c1a765df9f29b0d6901bd0977a3"
 )
 
+#: The non-default routing policies consciously diverge from the min-hop
+#: goldens (they pick different routes), so each gets its own pinned
+#: composed digest.  ``tx-energy`` runs the composed scenario as-is;
+#: ``residual-energy`` additionally carries a battery FaultPlan so the
+#: pin covers the injector composition: battery deaths → epoch
+#: invalidation, battery polls → mid-epoch ``refresh_costs``.
+GOLDEN_TX_ENERGY_DIGEST = (
+    "6505d30d78aa3a0c65fd4118075fe8ceae5bf02c0f96204b22854360ac6ce34a"
+)
+GOLDEN_RESIDUAL_DIGEST = (
+    "8ced0ae0c76d02e00454fa67c630dc0a04d76e4a7fdf9f3860df710dd01c8352"
+)
+
+
+def residual_faults():
+    """The battery plan the residual-energy pin composes with.
+
+    0.006 J at the composed scenario's load kills two relays mid-run
+    (first death at t=14 s) while the network keeps delivering — the
+    interesting regime where routes must actually react."""
+    from repro.faults import FaultPlan
+
+    return FaultPlan(battery_capacity_j=0.006, battery_poll_s=2.0)
+
 
 def composed_config():
     from repro.channel.propagation import PropagationSpec
@@ -184,6 +208,55 @@ class TestGoldenDigest:
             for scheduler in ("heap", "calendar")
         }
         assert digests == {GOLDEN_COMPOSED_DIGEST}
+
+    def test_tx_energy_policy_matches_pinned_digest(self):
+        # The energy policy diverges from the hops goldens on purpose;
+        # its own pin keeps the Dijkstra/cost path from drifting.
+        import dataclasses
+
+        config = dataclasses.replace(
+            composed_config(), routing_policy="tx-energy"
+        )
+        assert (
+            results_digest([run_scenario(config)]) == GOLDEN_TX_ENERGY_DIGEST
+        )
+
+    def test_residual_policy_with_batteries_matches_pinned_digest(self):
+        # residual-energy × battery faults: deaths invalidate epochs and
+        # polls refresh live costs, all pinned byte-for-byte.
+        import dataclasses
+
+        config = dataclasses.replace(
+            composed_config(),
+            routing_policy="residual-energy",
+            faults=residual_faults(),
+        )
+        assert (
+            results_digest([run_scenario(config)]) == GOLDEN_RESIDUAL_DIGEST
+        )
+
+    def test_policy_digests_reproduce_across_engine_grid(self):
+        # Scheduler and MAC engine stay performance-only under the new
+        # policies too: the full grid collapses onto the same pins.
+        import dataclasses
+
+        digests = {
+            results_digest(
+                [
+                    run_scenario(
+                        dataclasses.replace(
+                            composed_config(),
+                            routing_policy="tx-energy",
+                            mac_engine=engine,
+                            scheduler=scheduler,
+                        )
+                    )
+                ]
+            )
+            for engine in ("flat", "generator")
+            for scheduler in ("heap", "calendar")
+        }
+        assert digests == {GOLDEN_TX_ENERGY_DIGEST}
 
     def test_digest_is_sensitive_to_results(self):
         sweep = golden_sweep(SweepRunner(backend=SerialBackend()))
@@ -314,4 +387,36 @@ if __name__ == "__main__":  # pragma: no cover - digest (re)pin helper
     print(
         "GOLDEN_COMPOSED_DIGEST =",
         repr(results_digest([run_scenario(composed_config())])),
+    )
+    import dataclasses
+
+    print(
+        "GOLDEN_TX_ENERGY_DIGEST =",
+        repr(
+            results_digest(
+                [
+                    run_scenario(
+                        dataclasses.replace(
+                            composed_config(), routing_policy="tx-energy"
+                        )
+                    )
+                ]
+            )
+        ),
+    )
+    print(
+        "GOLDEN_RESIDUAL_DIGEST =",
+        repr(
+            results_digest(
+                [
+                    run_scenario(
+                        dataclasses.replace(
+                            composed_config(),
+                            routing_policy="residual-energy",
+                            faults=residual_faults(),
+                        )
+                    )
+                ]
+            )
+        ),
     )

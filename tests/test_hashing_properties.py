@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.channel.propagation import PropagationSpec
-from repro.energy.radio_specs import RadioSpec
+from repro.energy.radio_specs import RadioSpec, TxPowerLevel
 from repro.faults import FaultPlan
 from repro.models.scenario import RadioAssignment, ScenarioConfig
 from repro.runner import ShardSpec, canonical_json, config_key, shard_index
@@ -116,6 +116,7 @@ class TestScenarioFieldSensitivity:
         "high_radios": RadioAssignment(overrides=((0, "Cabletron"),)),
         "traffic_mix": ((1, "poisson"),),
         "routing": "lazy",
+        "routing_policy": "tx-energy",
         "scheduler": "calendar",
         "mac_engine": "generator",
         "faults": FaultPlan(crashes=((1.0, 1),)),
@@ -156,6 +157,9 @@ class TestScenarioFieldSensitivity:
                 changed = value + "x"
             elif value is None:
                 changed = 1.0
+            elif isinstance(value, tuple):
+                # tx_power_levels: grow the (empty by default) ladder.
+                changed = value + (TxPowerLevel(p_tx_w=0.01, range_m=10.0),)
             else:
                 changed = type(value)(value + 1)
             tweaked = self.BASE.replace(

@@ -12,6 +12,15 @@ scheme stays pinned separately by the golden digests
 (tests/test_determinism.py).  Against ``threaded`` we still assert
 hop-count equality: tie-breaking chooses *which* shortest path, never its
 length.
+
+PR 10 adds a third engine — :class:`DijkstraRoutingTable`, the cost
+engine behind the routing policies — whose contract is stronger than
+shortest-path agreement: under **unit edge costs** its trees must be
+*draw-for-draw identical* to the BFS engines' (FIFO heap order == BFS
+frontier order; one shuffle per settled node).  That exact equivalence is
+what lets the policy machinery ship without re-pinning a single
+``policy="hops"`` golden digest, so it gets its own property tests here,
+including through an ``invalidate_epoch`` after node deaths.
 """
 
 import random
@@ -20,7 +29,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.net.csr import CsrGraph
-from repro.net.routing import LazyRoutingTable, RoutingTable
+from repro.net.routing import (
+    DijkstraRoutingTable,
+    LazyRoutingTable,
+    RoutingTable,
+)
 from repro.topology.layout import clustered_layout, grid_layout, random_layout
 
 RANGE_M = 60.0
@@ -92,6 +105,93 @@ def test_lazy_hops_match_threaded_eager(kind, size, seed):
             assert lazy.has_route(src, dst) == threaded.has_route(src, dst)
             if threaded.has_route(src, dst):
                 assert lazy.hops(src, dst) == threaded.hops(src, dst)
+
+
+class _UnitCost:
+    """A hand-rolled LinkCostModel charging 1.0 per hop, no factors.
+
+    Deliberately *not* the registry's ``hops`` policy (which maps to the
+    BFS engines): this exercises the Dijkstra engine itself on the exact
+    cost surface where its trees must reproduce BFS byte-for-byte.
+    """
+
+    dynamic = False
+
+    def edge_costs(self, csr, layout):
+        return [1.0] * len(csr.indices)
+
+    def node_factors(self, csr):
+        return None
+
+
+def _dijkstra(layout, seed=None):
+    rng = None if seed is None else random.Random(seed)
+    return DijkstraRoutingTable(
+        CsrGraph.from_layout(layout, RANGE_M),
+        _UnitCost(),
+        layout=layout,
+        rng=rng,
+    )
+
+
+def _assert_same_routes(layout, reference, dijkstra, pair_seed=0):
+    """Next-hop/hops/reachability identity over every (src, dst) pair.
+
+    Pairs are queried in a shuffled order so tree materialization order
+    can't mask an order dependence in either lazy engine.
+    """
+    pairs = [
+        (a, b) for a in layout.node_ids for b in layout.node_ids if a != b
+    ]
+    random.Random(pair_seed ^ 0x5A5A).shuffle(pairs)
+    for src, dst in pairs:
+        assert dijkstra.has_route(src, dst) == reference.has_route(src, dst)
+        if reference.has_route(src, dst):
+            assert dijkstra.hops(src, dst) == reference.hops(src, dst)
+            assert dijkstra.next_hop(src, dst) == reference.next_hop(src, dst)
+
+
+@given(kind=topology_kinds, size=sizes, seed=seeds, mode=modes)
+@settings(max_examples=40, deadline=None)
+def test_dijkstra_unit_costs_reproduce_bfs_trees(kind, size, seed, mode):
+    """Unit-cost Dijkstra == lazy BFS == per-destination eager, exactly."""
+    layout, eager, lazy = _engines(kind, size, seed, mode)
+    dijkstra = _dijkstra(layout, seed=None if mode == "sorted" else seed)
+    _assert_same_routes(layout, lazy, dijkstra, pair_seed=seed)
+    _assert_same_routes(layout, eager, dijkstra, pair_seed=seed + 1)
+
+
+@given(kind=topology_kinds, size=sizes, seed=seeds)
+@settings(max_examples=25, deadline=None)
+def test_dijkstra_equivalence_survives_epoch_invalidation(kind, size, seed):
+    """After node deaths both engines re-agree on the surviving topology.
+
+    Also pins the epoch bookkeeping itself: dead nodes neither originate,
+    relay, nor terminate routes on either engine.
+    """
+    layout = _make_layout(kind, size, seed)
+    nodes = list(layout.node_ids)
+    lazy = LazyRoutingTable(
+        CsrGraph.from_layout(layout, RANGE_M), rng=random.Random(seed)
+    )
+    dijkstra = _dijkstra(layout, seed=seed)
+    # Settle some pre-death trees so invalidation actually has state to
+    # drop, then kill ~1/4 of the fleet (never all of it).
+    probe = nodes[len(nodes) // 2]
+    for src in nodes:
+        if src != probe:
+            lazy.has_route(src, probe)
+            dijkstra.has_route(src, probe)
+    deaths = random.Random(seed ^ 0xD00D)
+    dead = set(deaths.sample(nodes, max(1, len(nodes) // 4)))
+    lazy.invalidate_epoch(1, dead)
+    dijkstra.invalidate_epoch(1, dead)
+    assert dijkstra.epoch == lazy.epoch == 1
+    _assert_same_routes(layout, lazy, dijkstra, pair_seed=seed)
+    for node in dead:
+        alive = next(n for n in nodes if n not in dead)
+        assert not dijkstra.has_route(alive, node)
+        assert not dijkstra.has_route(node, alive)
 
 
 @given(kind=topology_kinds, size=sizes, seed=seeds)
